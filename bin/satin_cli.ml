@@ -1,0 +1,128 @@
+(* Command-line driver for the SATIN reproduction experiments. *)
+
+open Cmdliner
+module E = Satin.Experiment
+
+let fmt = Format.std_formatter
+
+let seed_arg =
+  let doc = "PRNG seed; every experiment is deterministic in the seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Shrink campaign lengths for a fast run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let simple name doc f =
+  let term = Term.(const f $ seed_arg) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
+    (fun seed -> E.print_e1 fmt (E.run_e1 ~seed ()))
+
+let table1 = simple "table1" "Table I: per-byte introspection cost"
+    (fun seed -> E.print_table1 fmt (E.run_table1 ~seed ()))
+
+let e3 = simple "e3" "Attacker recovery time (Sec IV-B2)"
+    (fun seed -> E.print_e3 fmt (E.run_e3 ~seed ()))
+
+let uprober = simple "uprober" "User-level prober responsiveness (Sec III-B1)"
+    (fun seed -> E.print_uprober fmt (E.run_uprober ~seed ()))
+
+let table2 =
+  let run seed quick =
+    let rounds = if quick then 15 else 50 in
+    let r = E.run_table2 ~seed ~rounds () in
+    E.print_table2 fmt r
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Table II: probing threshold vs period")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig4 =
+  let run seed quick =
+    let rounds = if quick then 15 else 50 in
+    let r = E.run_table2 ~seed ~rounds () in
+    E.print_fig4 fmt r
+  in
+  Cmd.v (Cmd.info "fig4" ~doc:"Figure 4: probing threshold stability")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let e6 = simple "e6" "Single-core vs all-core probing"
+    (fun seed -> E.print_e6 fmt (E.run_e6 ~seed ()))
+
+let race =
+  Cmd.v (Cmd.info "race" ~doc:"Sec IV-C race-condition analysis")
+    Term.(const (fun () -> E.print_e7 fmt (E.run_e7 ())) $ const ())
+
+let timeline =
+  Cmd.v (Cmd.info "timeline" ~doc:"Figure 3: two-world race timeline")
+    Term.(const (fun () -> E.print_timeline fmt Satin.Race.paper_worst_case) $ const ())
+
+let evasion =
+  let run seed quick =
+    E.print_e8 fmt (E.run_e8 ~seed ~duration_s:(if quick then 120 else 400) ())
+  in
+  Cmd.v (Cmd.info "evasion" ~doc:"E8: TZ-Evader vs PKM-style introspection")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let areas =
+  Cmd.v (Cmd.info "areas" ~doc:"E9: kernel area partition")
+    Term.(const (fun () -> E.print_e9 fmt (E.run_e9 ())) $ const ())
+
+let satin_detect =
+  let run seed quick =
+    E.print_e10 fmt (E.run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ())
+  in
+  Cmd.v (Cmd.info "satin-detect" ~doc:"E10: SATIN detecting TZ-Evader (Sec VI-B1)")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let fig7 =
+  let run seed quick =
+    E.print_fig7 fmt (E.run_fig7 ~seed ~window_s:(if quick then 8 else 30) ())
+  in
+  Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: SATIN overhead on UnixBench")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let dkom =
+  let run seed quick =
+    E.print_e13 fmt (E.run_e13 ~seed ~checks:(if quick then 10 else 30) ())
+  in
+  Cmd.v (Cmd.info "dkom" ~doc:"E13: cross-view detection of DKOM process hiding")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let cache_channel =
+  let run seed quick =
+    E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ())
+  in
+  Cmd.v (Cmd.info "cache-channel" ~doc:"E14: SATIN vs the cache-occupancy side channel")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let sweep =
+  let run seed quick =
+    E.print_tgoal_sweep fmt
+      (E.run_tgoal_sweep ~seed ~trials:(if quick then 2 else 4) ())
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Tgoal coverage/overhead sweep")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let ablation =
+  let run seed quick =
+    E.print_ablation fmt (E.run_ablation ~seed ~passes:(if quick then 1 else 3) ())
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"SATIN randomization ablation")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let all =
+  let run seed quick = E.run_all ~seed ~quick fmt in
+  Cmd.v (Cmd.info "all" ~doc:"Run the whole evaluation in paper order")
+    Term.(const run $ seed_arg $ quick_arg)
+
+let main =
+  let doc = "SATIN (DSN 2019) reproduction: experiments on the simulated Juno r1" in
+  Cmd.group (Cmd.info "satin_cli" ~version:"1.0.0" ~doc)
+    [
+      e1; table1; e3; uprober; table2; fig4; e6; race; timeline; evasion;
+      areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; all;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,76 @@
+(* Area tuning for arbitrary kernels: given a kernel size and the timing of
+   your platform, how should SATIN divide the image and how often must it
+   wake up to meet a coverage goal?
+
+     dune exec examples/tune_areas.exe -- [kernel_bytes] [tgoal_s]
+
+   Defaults: the paper's kernel (11,916,240 B) and Tgoal = 152 s. *)
+
+module Race = Satin.Race
+module Layout = Satin_kernel.Layout
+module Area = Satin_introspect.Area
+module Sim_time = Satin_engine.Sim_time
+
+let usage () =
+  prerr_endline "usage: tune_areas [kernel_bytes] [tgoal_seconds]";
+  exit 2
+
+let () =
+  let kernel_bytes =
+    if Array.length Sys.argv > 1 then
+      match int_of_string_opt Sys.argv.(1) with Some n when n > 0 -> n | _ -> usage ()
+    else 11_916_240
+  in
+  let tgoal_s =
+    if Array.length Sys.argv > 2 then
+      match float_of_string_opt Sys.argv.(2) with
+      | Some x when x > 0.0 -> x
+      | _ -> usage ()
+    else 152.0
+  in
+  let p = Race.paper_worst_case in
+  let bound = Race.max_area_size p in
+  Printf.printf "race parameters (worst case for the defender):\n";
+  Printf.printf "  Ts_switch      %.2e s\n" p.Race.ts_switch;
+  Printf.printf "  Ts_1byte       %.2e s (A57 fastest)\n" p.Race.ts_1byte;
+  Printf.printf "  Tns_delay      %.2e s\n" (Race.tns_delay p);
+  Printf.printf "  Tns_recover    %.2e s\n" p.Race.tns_recover;
+  Printf.printf "  area bound     %d bytes (Equation 2)\n\n" bound;
+
+  (* Build a synthetic System.map of the requested size and partition it. *)
+  let areas_needed = (kernel_bytes + bound - 1) / bound in
+  let layout =
+    if kernel_bytes = Layout.paper_total_size then Layout.paper_layout ()
+    else
+      Layout.synthetic ~base:(2 * 1024 * 1024) ~total_size:kernel_bytes
+        ~areas:(max 2 areas_needed) ~seed:99
+  in
+  let greedy = Area.partition layout ~bound in
+  let canonical = Area.of_layout layout in
+  let m = List.length canonical in
+  Printf.printf "kernel: %d bytes\n" kernel_bytes;
+  Printf.printf "minimum areas at the bound (greedy): %d\n" (List.length greedy);
+  Printf.printf "canonical partition: %d areas, max %d B, min %d B\n" m
+    (Area.max_size canonical) (Area.min_size canonical);
+  List.iter
+    (fun a ->
+      let scan_ms =
+        1000.0 *. Race.scan_time p ~bytes:a.Area.size
+      in
+      Printf.printf "  area %2d  %8d B  scan %6.2f ms  margin %6.2f ms\n"
+        a.Area.index a.Area.size scan_ms
+        ((Race.hide_time p *. 1000.0) -. scan_ms))
+    canonical;
+
+  let tp = tgoal_s /. float_of_int m in
+  Printf.printf
+    "\nfor Tgoal = %.0f s: tp = %.2f s; every core wakes about every %.1f s\n"
+    tgoal_s tp (tp *. 6.0);
+  let worst = Area.max_size canonical in
+  if worst < bound then
+    Printf.printf
+      "all areas below the bound: a scan always beats the %.2f ms hide.\n"
+      (Race.hide_time p *. 1000.0)
+  else
+    Printf.printf "WARNING: largest area (%d B) exceeds the bound (%d B)!\n" worst
+      bound

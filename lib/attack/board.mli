@@ -1,0 +1,38 @@
+(** Shared time-report board.
+
+    The buffer the probers' Time Reporters write and Time Comparers read
+    (§III-B1): one slot per core holding the core's latest report of the
+    shared timer. It lives in normal-world memory, so reading another core's
+    slot crosses the cache-coherence fabric; the comparer therefore observes
+    each report with a sampled {e staleness} — the cross-core reading delay
+    the paper identifies as the driver of the probing threshold (§IV-B2,
+    Table II). *)
+
+type t
+
+val create :
+  platform:Satin_hw.Platform.t -> period:Satin_engine.Sim_time.t -> t
+(** [period] is the probing round period; it parameterizes the staleness
+    distribution (longer sleeps → colder caches → larger delays). *)
+
+val period : t -> Satin_engine.Sim_time.t
+
+val report : t -> core:int -> unit
+(** Time Reporter: store "now" into the core's slot. *)
+
+val last_report : t -> core:int -> Satin_engine.Sim_time.t
+(** The true latest report (no read delay) — for tests. *)
+
+val observed_age : t -> reader:int -> target:int -> staleness_scale:float -> float
+(** Time Comparer's view: seconds elapsed since [target]'s report as seen
+    from [reader], including a sampled cross-core staleness multiplied by
+    [staleness_scale] (1.0 for kernel-level probers; larger for the
+    user-level prober whose reads cross more layers). *)
+
+val lateness : t -> reader:int -> target:int -> staleness_scale:float -> float
+(** [observed_age - period]: how much later than the expected cadence the
+    target's report appears. Under benign conditions this is bounded by the
+    probing threshold; a core held in the secure world drives it upward by
+    the full missed-report gap. *)
+
+val reports_count : t -> core:int -> int

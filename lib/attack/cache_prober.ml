@@ -1,0 +1,166 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Prng = Satin_engine.Prng
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module Cycle_model = Satin_hw.Cycle_model
+module Kernel = Satin_kernel.Kernel
+module Task = Satin_kernel.Task
+
+type config = {
+  period : Sim_time.t;
+  eviction_lag : Sim_time.t;
+  noise_rate_hz : float;
+  hit_latency_s : float;
+  miss_latency_s : float;
+}
+
+let default_config =
+  {
+    period = Sim_time.us 200;
+    eviction_lag = Sim_time.us 100;
+    noise_rate_hz = 0.02;
+    hit_latency_s = 2.0e-8;
+    miss_latency_s = 1.4e-7;
+  }
+
+type detection = {
+  det_cluster : int;
+  det_time : Sim_time.t;
+  det_latency_s : float;
+  det_noise : bool;
+}
+
+type t = {
+  platform : Platform.t;
+  config : config;
+  prng : Prng.t;
+  clusters : int array array; (* cluster -> member core ids *)
+  primed_since : Sim_time.t array;
+  suspected : bool array;
+  mutable suspect_hooks : (detection -> unit) list;
+  mutable clear_hooks : (cluster:int -> unit) list;
+  mutable detections : detection list; (* newest first *)
+  mutable false_alarms : int;
+  mutable running : bool;
+}
+
+(* Juno clustering: consecutive cores of the same type share an L2. *)
+let clusters_of_platform platform =
+  let types =
+    Array.map Cpu.core_type platform.Platform.cores
+  in
+  let groups = ref [] and current = ref [ 0 ] in
+  for i = 1 to Array.length types - 1 do
+    if Cycle_model.equal_core_type types.(i) types.(i - 1) then
+      current := i :: !current
+    else begin
+      groups := List.rev !current :: !groups;
+      current := [ i ]
+    end
+  done;
+  groups := List.rev !current :: !groups;
+  Array.of_list (List.rev_map Array.of_list !groups)
+
+let cluster_of_core ~core = if core <= 3 then 0 else 1
+
+let now t = Engine.now t.platform.Platform.engine
+
+(* Did any cluster core spend >= eviction_lag in the secure world since the
+   set was last primed? *)
+let evicted_since t ~cluster =
+  let since = t.primed_since.(cluster) in
+  Array.exists
+    (fun core ->
+      let cpu = Platform.core t.platform core in
+      let overlap =
+        if Cpu.in_secure cpu then
+          match Cpu.last_entry_time cpu with
+          | Some entry -> Sim_time.diff (now t) (Sim_time.max entry since)
+          | None -> Sim_time.zero
+        else
+          match Cpu.last_entry_time cpu, Cpu.last_exit_time cpu with
+          | Some entry, Some exit when exit > since ->
+              Sim_time.diff exit (Sim_time.max entry since)
+          | _ -> Sim_time.zero
+      in
+      overlap >= t.config.eviction_lag)
+    t.clusters.(cluster)
+
+let probe t ~cluster =
+  let evicted = evicted_since t ~cluster in
+  let noise =
+    (not evicted)
+    && Prng.bernoulli t.prng
+         (t.config.noise_rate_hz *. Sim_time.to_sec_f t.config.period)
+  in
+  t.primed_since.(cluster) <- now t;
+  if evicted || noise then begin
+    let latency =
+      t.config.miss_latency_s *. Prng.lognormal t.prng ~mu:0.0 ~sigma:0.1
+    in
+    let det =
+      { det_cluster = cluster; det_time = now t; det_latency_s = latency;
+        det_noise = noise }
+    in
+    t.detections <- det :: t.detections;
+    if noise then t.false_alarms <- t.false_alarms + 1;
+    t.suspected.(cluster) <- true;
+    List.iter (fun f -> f det) t.suspect_hooks
+  end
+  else if t.suspected.(cluster) then begin
+    t.suspected.(cluster) <- false;
+    List.iter (fun f -> f ~cluster) t.clear_hooks
+  end
+
+let probe_body t ~cluster task =
+  ignore task;
+  if not t.running then { Task.cpu = Sim_time.zero; after = (fun () -> Task.Exit) }
+  else
+    {
+      (* Priming + timing a set is a few microseconds of loads. *)
+      Task.cpu = Sim_time.us 4;
+      after =
+        (fun () ->
+          probe t ~cluster;
+          Task.Sleep t.config.period);
+    }
+
+let deploy kernel config =
+  let platform = kernel.Kernel.platform in
+  let clusters = clusters_of_platform platform in
+  let n = Array.length clusters in
+  let t =
+    {
+      platform;
+      config;
+      prng = Platform.split_prng platform;
+      clusters;
+      primed_since = Array.make n Sim_time.zero;
+      suspected = Array.make n false;
+      suspect_hooks = [];
+      clear_hooks = [];
+      detections = [];
+      false_alarms = 0;
+      running = true;
+    }
+  in
+  Array.iteri
+    (fun cluster members ->
+      let task =
+        Task.create
+          ~name:(Printf.sprintf "cacheprobe/%d" cluster)
+          ~policy:(Task.Rt_fifo Task.rt_priority_max) ~affinity:members.(0)
+          ~body:(probe_body t ~cluster)
+          ()
+      in
+      Kernel.spawn kernel task)
+    clusters;
+  t
+
+let on_suspect t f = t.suspect_hooks <- t.suspect_hooks @ [ f ]
+let on_clear t f = t.clear_hooks <- t.clear_hooks @ [ f ]
+let suspected t ~cluster = t.suspected.(cluster)
+let detections t = List.rev t.detections
+let false_alarms t = t.false_alarms
+let retire t = t.running <- false

@@ -1,0 +1,69 @@
+(** Cache-occupancy side-channel prober (the "other side channels" of the
+    paper's §VI-C2).
+
+    Instead of watching CPU availability, the attacker primes cache sets and
+    times re-accesses: an introspection pass streams megabytes through the
+    cluster's shared L2, evicting the primed lines, so a probe right after
+    (or during) a scan sees miss latencies. Properties that differ from
+    {!Kprober}:
+
+    - {b faster}: no need to wait out the 1.8 ms availability threshold — a
+      single probe round after ~100 µs of scanning already sees the
+      eviction, so the reaction time is bounded by the probe period;
+    - {b cluster-grained}: the Juno's L2 is per cluster (A53: cores 0–3,
+      A57: cores 4–5), so the attacker learns the cluster, not the core;
+    - {b retrospective}: evictions persist, so even a scan that finished
+      between two probes is noticed (useful for schedule learning — which
+      SATIN's randomized wake-ups deliberately spoil);
+    - {b noisy}: ordinary memory traffic also evicts; the detector carries
+      a false-alarm rate.
+
+    Experiment E14 shows SATIN still wins against this faster channel: the
+    hide starts ~3× sooner, but the scan front still crosses the tampered
+    bytes before the restore lands. *)
+
+type config = {
+  period : Satin_engine.Sim_time.t; (** probe round period (default 200 µs) *)
+  eviction_lag : Satin_engine.Sim_time.t;
+      (** scanning time before the primed set is measurably evicted
+          (default 100 µs) *)
+  noise_rate_hz : float;
+      (** benign-eviction false alarms per cluster per second (default 0.02) *)
+  hit_latency_s : float; (** primed-set re-access when undisturbed (~20 ns) *)
+  miss_latency_s : float; (** after eviction (~140 ns) *)
+}
+
+val default_config : config
+
+type detection = {
+  det_cluster : int; (** 0 = A53 cluster (cores 0–3), 1 = A57 (cores 4–5) *)
+  det_time : Satin_engine.Sim_time.t;
+  det_latency_s : float; (** observed probe latency *)
+  det_noise : bool; (** true if this alarm was benign eviction (ground truth,
+                        for experiment accounting; the attacker cannot tell) *)
+}
+
+type t
+
+val deploy : Satin_kernel.Kernel.t -> config -> t
+(** One priming/probing RT thread per cluster (on the cluster's first
+    core). Probing starts immediately. *)
+
+val on_suspect : t -> (detection -> unit) -> unit
+(** Fired on each probe round that sees an evicted set (edge-triggered: the
+    set is re-primed after every probe, so a long scan fires repeatedly at
+    the probe period). *)
+
+val on_clear : t -> (cluster:int -> unit) -> unit
+(** Fired when a previously-evicted cluster probes clean again. *)
+
+val suspected : t -> cluster:int -> bool
+val detections : t -> detection list
+val false_alarms : t -> int
+
+val cluster_of_core : core:int -> int
+(** The Juno r1 mapping (cores 0–3 → cluster 0, 4–5 → cluster 1) — a test
+    convenience; the prober itself derives clusters from the platform's
+    core types, so other topologies work without this helper. *)
+
+val retire : t -> unit

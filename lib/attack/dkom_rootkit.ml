@@ -1,0 +1,94 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Prng = Satin_engine.Prng
+module Platform = Satin_hw.Platform
+module World = Satin_hw.World
+module Cycle_model = Satin_hw.Cycle_model
+module Kernel = Satin_kernel.Kernel
+module Proc_table = Satin_kernel.Proc_table
+
+type state = Visible | Hidden_state | Relinking | Unlinking
+
+type t = {
+  platform : Platform.t;
+  table : Proc_table.t;
+  pid : int;
+  prober : Kprober.t;
+  prng : Prng.t;
+  mutable state : state;
+  mutable relinks : int;
+  mutable unlinks : int;
+  mutable running : bool;
+}
+
+(* Splicing a PCB back in (or out) is two pointer stores plus finding the
+   node again under preemption: sub-millisecond, far cheaper than the
+   syscall-table restore. *)
+let splice_cost = Cycle_model.triple ~min_s:3.0e-4 ~avg_s:5.0e-4 ~max_s:7.0e-4
+
+let now t = Engine.now t.platform.Platform.engine
+
+let after_splice t f =
+  ignore
+    (Engine.schedule t.platform.Platform.engine
+       ~after:(Cycle_model.sample_time t.prng splice_cost)
+       f)
+
+let rec on_suspect t (_ : Kprober.detection) =
+  if t.running && t.state = Hidden_state then begin
+    (* The introspection is coming: make the process visible again so the
+       cross-view finds nothing inconsistent. *)
+    t.state <- Relinking;
+    after_splice t (fun () ->
+        Proc_table.relink_tasks t.table ~world:World.Normal ~pid:t.pid;
+        t.relinks <- t.relinks + 1;
+        t.state <- Visible;
+        maybe_hide t)
+  end
+
+and maybe_hide t =
+  if t.running && t.state = Visible && not (Kprober.suspected_any t.prober) then begin
+    t.state <- Unlinking;
+    after_splice t (fun () ->
+        Proc_table.unlink_tasks t.table ~world:World.Normal ~pid:t.pid;
+        t.unlinks <- t.unlinks + 1;
+        t.state <- Hidden_state)
+  end
+
+let on_clear t ~core:_ = maybe_hide t
+
+let deploy kernel table ~pid ~prober_config =
+  let platform = kernel.Kernel.platform in
+  let prober = Kprober.deploy kernel prober_config in
+  let t =
+    {
+      platform;
+      table;
+      pid;
+      prober;
+      prng = Platform.split_prng platform;
+      state = Visible;
+      relinks = 0;
+      unlinks = 0;
+      running = false;
+    }
+  in
+  Kprober.on_suspect prober (on_suspect t);
+  Kprober.on_clear prober (on_clear t);
+  t
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (now t);
+    maybe_hide t
+  end
+
+let stop t =
+  t.running <- false;
+  Kprober.retire t.prober
+
+let is_hidden t = t.state = Hidden_state
+let relinks t = t.relinks
+let unlinks t = t.unlinks
+let prober t = t.prober

@@ -1,0 +1,35 @@
+(** Process-hiding DKOM rootkit with TZ-Evader reflexes.
+
+    The second classic persistent attack, complementing the syscall hijack:
+    a malicious process is unlinked from the all-tasks list
+    ({!Satin_kernel.Proc_table.unlink_tasks}) but stays on the run queue —
+    invisible to tasks-list walks, still executing. Like the byte-restoring
+    evader it watches {!Kprober} and tries to {e relink} before an
+    introspection can cross-view the lists, re-hiding on the all-clear.
+
+    It loses harder than the syscall evader: a cross-view walk costs ~10⁻⁵ s
+    from the moment the secure world starts, while merely noticing the
+    world switch costs the attacker ~2×10⁻³ s — experiment E13. *)
+
+type t
+
+val deploy :
+  Satin_kernel.Kernel.t ->
+  Satin_kernel.Proc_table.t ->
+  pid:int ->
+  prober_config:Kprober.config ->
+  t
+(** The pid must already exist (runnable) in the table. *)
+
+val start : t -> unit
+(** Hide the process and begin reacting to probe events. *)
+
+val stop : t -> unit
+
+val is_hidden : t -> bool
+val relinks : t -> int
+val unlinks : t -> int
+val prober : t -> Kprober.t
+
+val splice_cost : Satin_hw.Cycle_model.triple
+(** Time to splice the PCB in or out (sub-millisecond). *)

@@ -1,0 +1,41 @@
+(** TZ-Evader: the full evasion attack (§III-C).
+
+    Wires a {!Kprober} to a {!Rootkit}: the moment any core is suspected of
+    entering the secure world, the rootkit hides; once every core reports
+    again (all-clear) and a confirmation delay passes, the rootkit re-arms
+    and resumes collecting. Against a full-kernel-scan defense the hide
+    almost always beats the scan front (the §IV-C race); against SATIN the
+    area is finished before the hide completes. *)
+
+type config = {
+  prober : Kprober.config;
+  cleanup_core : int; (** core running the hide/re-arm code *)
+  confirm_clear : Satin_engine.Sim_time.t;
+      (** how long after the all-clear before re-arming *)
+  target_addr : int option;
+      (** rootkit placement; [None] = the GETTID syscall-table entry *)
+}
+
+val default_config : config
+(** KProber defaults, cleanup on core 0 (an A53, the paper's worst case for
+    the attacker), 2 ms confirmation. *)
+
+type t
+
+val deploy : Satin_kernel.Kernel.t -> config -> t
+(** Creates rootkit and prober. Call {!start} to arm. *)
+
+val start : t -> unit
+(** Arms the rootkit and begins reacting to probe events. *)
+
+val rootkit : t -> Rootkit.t
+val prober : t -> Kprober.t
+
+val hide_reaction_times : t -> float list
+(** Seconds from each defender world-entry to the completion of the
+    corresponding hide (the attacker's realized [Tns_delay+Tns_recover]). *)
+
+val evasions : t -> int
+(** Completed hides (each one an evasion attempt). *)
+
+val stop : t -> unit

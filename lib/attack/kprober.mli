@@ -1,0 +1,73 @@
+(** KProber: kernel-level core-state prober (§III-C).
+
+    Probes the CPU-availability side channel: when the secure world holds a
+    core, that core's Time Reporter stops reporting, and any Time Comparer
+    sees its report age grow past [period + threshold].
+
+    Two reporter implementations, as in the paper:
+    - {b KProber-I} (§III-C1): the Time Reporter is injected into the timer
+      interrupt path by hijacking the IRQ exception vector — it runs at
+      every tick (frequency ≥ HZ) but modifies kernel text, leaving a trace
+      the defender can find. A spinner task per core defeats NO_HZ_IDLE.
+    - {b KProber-II} (§III-C2): Time Reporter and Comparer run as
+      SCHED_FIFO priority-99 threads that wake every [period]
+      ([Tsleep] = 2×10⁻⁴ s in the paper) — no kernel-text modification.
+
+    Comparers always run in the RT threads (the paper's evaluation combines
+    a KProber-I reporter with a KProber-II comparer). *)
+
+type reporter_kind = Tick_reporter | Rt_reporter
+
+type config = {
+  period : Satin_engine.Sim_time.t;
+      (** probing round period ([Tns_sched]); 200 µs in the paper's attack *)
+  reporter : reporter_kind;
+  threshold : float;
+      (** detection threshold in seconds; the paper uses its measured
+          worst case, 1.8×10⁻³ s *)
+  watched_cores : int list;
+      (** cores to probe; [[]] means all (per-core threads are created for
+          watched cores only — probing fewer cores lowers the observed
+          threshold, §IV-B2) *)
+}
+
+val default_config : config
+(** RT reporter, 200 µs period, 1.8 ms threshold, all cores. *)
+
+type detection = {
+  det_core : int;
+  det_time : Satin_engine.Sim_time.t; (** when the comparer flagged it *)
+  det_lateness : float; (** seconds past the expected cadence *)
+}
+
+type t
+
+val deploy : Satin_kernel.Kernel.t -> config -> t
+(** Creates and spawns the probe threads (and, for [Tick_reporter], hijacks
+    the IRQ vector, registers the tick hook, and spawns per-core spinners).
+    Probing begins immediately. *)
+
+val board : t -> Board.t
+
+val on_suspect : t -> (detection -> unit) -> unit
+(** Fired when a watched core {e becomes} suspected (edge, not level). *)
+
+val on_clear : t -> (core:int -> unit) -> unit
+(** Fired when a suspected core reports again. *)
+
+val suspected : t -> core:int -> bool
+val suspected_any : t -> bool
+
+val lateness_trace : t -> (int * float) Satin_engine.Trace.t
+(** Every comparer evaluation's (target core, lateness) — the raw samples
+    behind Table II and Figure 4. Empty unless recording is enabled. *)
+
+val set_record_lateness : t -> bool -> unit
+(** Off by default: long campaigns at 200 µs would accumulate tens of
+    millions of samples. Enable for threshold-measurement experiments. *)
+
+val detections : t -> detection list
+
+val retire : t -> unit
+(** Stop probing; for KProber-I also restore the IRQ vector and remove the
+    tick hook (the attacker cleaning its preparation traces). *)

@@ -1,0 +1,148 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Trace = Satin_engine.Trace
+module Platform = Satin_hw.Platform
+module Kernel = Satin_kernel.Kernel
+module Task = Satin_kernel.Task
+
+type config = {
+  period : Sim_time.t;
+  burst_len : int;
+  burst_step : Sim_time.t;
+  threshold : float;
+  warmup : Sim_time.t;
+}
+
+let default_config =
+  {
+    period = Sim_time.s 8;
+    burst_len = 60;
+    burst_step = Sim_time.ms 2;
+    threshold = 5.97e-3;
+    warmup = Sim_time.ms 50;
+  }
+
+let staleness_scale = 4.0
+
+type t = {
+  platform : Platform.t;
+  config : config;
+  board : Board.t;
+  suspected : bool array;
+  late_streak : int array; (* consecutive over-threshold observations *)
+  round_start : Sim_time.t array; (* per-core view of its round's start *)
+  mutable suspect_hooks : (Kprober.detection -> unit) list;
+  mutable detections : Kprober.detection list;
+  lateness_trace : (int * float) Trace.t;
+  mutable record_lateness : bool;
+  mutable running : bool;
+}
+
+let now t = Engine.now t.platform.Platform.engine
+
+let compare_pass t ~reader =
+  let n = Platform.ncores t.platform in
+  let round_elapsed = Sim_time.diff (now t) t.round_start.(reader) in
+  for target = 0 to n - 1 do
+    if target <> reader && Board.reports_count t.board ~core:target > 0 then begin
+      let age =
+        Board.observed_age t.board ~reader ~target ~staleness_scale
+      in
+      (* A report from a previous round is only suspicious once the round is
+         old enough that everyone should have reported (warmup); a fresh
+         report is suspicious as soon as it exceeds the threshold. *)
+      let stale_report = age > Sim_time.to_sec_f t.config.period /. 2.0 in
+      let late =
+        if stale_report then round_elapsed > t.config.warmup
+        else age > t.config.threshold
+      in
+      if t.record_lateness && not stale_report then
+        Trace.record t.lateness_trace (now t) (target, age);
+      (* Debounce: a single over-threshold reading can be an isolated
+         cross-core read delay (the Table II tail); a stalled core stays
+         late on consecutive iterations. *)
+      if late then t.late_streak.(target) <- t.late_streak.(target) + 1
+      else t.late_streak.(target) <- 0;
+      if t.late_streak.(target) >= 2 || (late && stale_report) then begin
+        if not t.suspected.(target) then begin
+          t.suspected.(target) <- true;
+          let det =
+            { Kprober.det_core = target; det_time = now t; det_lateness = age }
+          in
+          t.detections <- det :: t.detections;
+          List.iter (fun f -> f det) t.suspect_hooks
+        end
+      end
+      else if t.suspected.(target) && age < t.config.threshold /. 2.0 then
+        t.suspected.(target) <- false
+    end
+  done
+
+let next_boundary t =
+  Sim_time.until_next_multiple ~period:t.config.period (now t)
+
+(* Each thread cycles: wake at a round boundary, run [burst_len]
+   report/compare iterations spaced [burst_step], then sleep to the next
+   boundary. [iter] counts the position inside the burst. *)
+let probe_body t ~core =
+  let iter = ref 0 in
+  fun task ->
+    ignore task;
+    if not t.running then { Task.cpu = Sim_time.zero; after = (fun () -> Task.Exit) }
+    else
+      {
+        (* User-space work per iteration: clock syscall + shared buffer. *)
+        Task.cpu = Sim_time.us 15;
+        after =
+          (fun () ->
+            if !iter = 0 then t.round_start.(core) <- now t;
+            Board.report t.board ~core;
+            compare_pass t ~reader:core;
+            incr iter;
+            if !iter >= t.config.burst_len then begin
+              iter := 0;
+              Task.Sleep (next_boundary t)
+            end
+            else Task.Sleep t.config.burst_step);
+      }
+
+let deploy kernel config =
+  let platform = kernel.Kernel.platform in
+  let n = Platform.ncores platform in
+  let t =
+    {
+      platform;
+      config;
+      (* Staleness parameterized by the burst step: reads inside a burst are
+         warm; the long inter-round sleep only affects the first iteration,
+         which the warmup rule covers anyway. *)
+      board = Board.create ~platform ~period:config.burst_step;
+      suspected = Array.make n false;
+      late_streak = Array.make n 0;
+      round_start = Array.make n Sim_time.zero;
+      suspect_hooks = [];
+      detections = [];
+      lateness_trace = Trace.create ();
+      record_lateness = false;
+      running = true;
+    }
+  in
+  for core = 0 to n - 1 do
+    let task =
+      Task.create
+        ~name:(Printf.sprintf "uprober/%d" core)
+        ~policy:Task.Cfs ~affinity:core
+        ~body:(probe_body t ~core)
+        ()
+    in
+    Kernel.spawn kernel task
+  done;
+  t
+
+let board t = t.board
+let on_suspect t f = t.suspect_hooks <- t.suspect_hooks @ [ f ]
+let suspected t ~core = t.suspected.(core)
+let detections t = List.rev t.detections
+let lateness_trace t = t.lateness_trace
+let set_record_lateness t v = t.record_lateness <- v
+let retire t = t.running <- false

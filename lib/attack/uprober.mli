@@ -1,0 +1,52 @@
+(** User-level multi-thread prober (§III-B1).
+
+    The stealthy variant: ordinary CFS threads, one pinned per core, that
+    need no kernel privilege and leave no kernel-text trace. Each probing
+    round (every [period], 8 s in the paper) every thread wakes and runs a
+    {e burst} of report/compare iterations — the paper's "child-thread keeps
+    reporting back the corresponding core's availability" — then sleeps
+    until the next round to stay inconspicuous.
+
+    During a burst each thread re-reports every [burst_step] and compares
+    all peers' report ages: a peer whose report is older than [threshold]
+    has lost its core to the secure world ([time_i > time_x +
+    Tns_threshold], §III-B1). A peer that never manages its first report
+    of the round by [warmup] is flagged too (its core was already taken
+    when the round began). Because the threads ride the fair scheduler
+    behind arbitrary load, the threshold must absorb CFS dispatch delays,
+    which is why it is coarser than KProber's — the paper measures
+    [Tns_delay] < 5.97×10⁻³ s, amply below the 8.04×10⁻² s full-kernel
+    check it needs to spot. *)
+
+type config = {
+  period : Satin_engine.Sim_time.t; (** probing round period (8 s in §III-B1) *)
+  burst_len : int; (** report/compare iterations per round *)
+  burst_step : Satin_engine.Sim_time.t; (** sleep between iterations *)
+  threshold : float; (** detection threshold, seconds *)
+  warmup : Satin_engine.Sim_time.t;
+      (** grace for a peer's first report of the round *)
+}
+
+val default_config : config
+(** 8 s rounds, 60 × 2 ms bursts, 5.97×10⁻³ s threshold, 50 ms warmup. *)
+
+type t
+
+val deploy : Satin_kernel.Kernel.t -> config -> t
+(** Spawns the n pinned CFS probe threads. *)
+
+val board : t -> Board.t
+val on_suspect : t -> (Kprober.detection -> unit) -> unit
+val suspected : t -> core:int -> bool
+val detections : t -> Kprober.detection list
+
+val lateness_trace : t -> (int * float) Satin_engine.Trace.t
+val set_record_lateness : t -> bool -> unit
+
+val staleness_scale : float
+(** How much dearer a user-space cross-core read is than a kernel one in
+    the staleness model. Isolated over-threshold readings (the Table II
+    delay tail) are debounced: a core is flagged only after two consecutive
+    late observations, or a missed first report. *)
+
+val retire : t -> unit

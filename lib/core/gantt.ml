@@ -1,0 +1,85 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module World = Satin_hw.World
+
+type recorder = {
+  engine : Engine.t;
+  ncores : int;
+  (* Per core: completed (entry, exit) windows, newest first, plus the
+     currently open entry if the core is in the secure world. *)
+  windows : (Sim_time.t * Sim_time.t) list array;
+  open_entry : Sim_time.t option array;
+}
+
+let record platform =
+  let ncores = Platform.ncores platform in
+  let r =
+    {
+      engine = platform.Platform.engine;
+      ncores;
+      windows = Array.make ncores [];
+      open_entry = Array.make ncores None;
+    }
+  in
+  Array.iter
+    (fun cpu ->
+      let core = Cpu.id cpu in
+      if Cpu.in_secure cpu then r.open_entry.(core) <- Some (Engine.now r.engine);
+      Cpu.on_world_change cpu (fun _ world ->
+          let now = Engine.now r.engine in
+          match world with
+          | World.Secure -> r.open_entry.(core) <- Some now
+          | World.Normal -> (
+              match r.open_entry.(core) with
+              | Some entry ->
+                  r.windows.(core) <- (entry, now) :: r.windows.(core);
+                  r.open_entry.(core) <- None
+              | None -> ())))
+    platform.Platform.cores;
+  r
+
+let secure_windows r ~core =
+  let closed = List.rev r.windows.(core) in
+  match r.open_entry.(core) with
+  | Some entry -> closed @ [ (entry, Engine.now r.engine) ]
+  | None -> closed
+
+type marker = { m_time : Sim_time.t; m_core : int; m_char : char }
+
+let render r ?(markers = []) ~t0 ~t1 ~width () =
+  if t1 <= t0 then invalid_arg "Gantt.render: empty window";
+  if width < 10 then invalid_arg "Gantt.render: width < 10";
+  let span = Sim_time.to_sec_f (Sim_time.diff t1 t0) in
+  let col time =
+    let frac = Sim_time.to_sec_f (Sim_time.diff time t0) /. span in
+    Stdlib.min (width - 1) (Stdlib.max 0 (int_of_float (frac *. float_of_int width)))
+  in
+  let lanes = Array.init r.ncores (fun _ -> Bytes.make width '.') in
+  for core = 0 to r.ncores - 1 do
+    List.iter
+      (fun (entry, exit) ->
+        if exit > t0 && entry < t1 then
+          for c = col (Sim_time.max entry t0) to col (Sim_time.min exit t1) do
+            Bytes.set lanes.(core) c '#'
+          done)
+      (secure_windows r ~core)
+  done;
+  List.iter
+    (fun m ->
+      if m.m_time >= t0 && m.m_time < t1 then
+        if m.m_core >= 0 && m.m_core < r.ncores then
+          Bytes.set lanes.(m.m_core) (col m.m_time) m.m_char
+        else if m.m_core = -1 then
+          Array.iter (fun lane -> Bytes.set lane (col m.m_time) m.m_char) lanes)
+    markers;
+  let header =
+    Printf.sprintf "%-7s %s .. %s" "core"
+      (Sim_time.to_string t0) (Sim_time.to_string t1)
+  in
+  let rows =
+    List.init r.ncores (fun core ->
+        Printf.sprintf "core %-2d %s" core (Bytes.to_string lanes.(core)))
+  in
+  String.concat "\n" (header :: rows) ^ "\n"

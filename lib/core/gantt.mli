@@ -1,0 +1,36 @@
+(** ASCII Gantt rendering of a campaign.
+
+    One lane per core over a time window: [.] normal world, [#] secure
+    world (an introspection round), with single-character markers overlaid
+    (e.g. [!] for an alarm, [h] for a completed hide). A recorder subscribes
+    to every core's world transitions so the full history is available —
+    the {!Satin_hw.Cpu} accounting alone only keeps the last entry/exit. *)
+
+type recorder
+
+val record : Satin_hw.Platform.t -> recorder
+(** Start recording world transitions on every core of the platform. Call
+    before the campaign begins. *)
+
+type marker = {
+  m_time : Satin_engine.Sim_time.t;
+  m_core : int; (** lane; [-1] draws on every lane *)
+  m_char : char;
+}
+
+val render :
+  recorder ->
+  ?markers:marker list ->
+  t0:Satin_engine.Sim_time.t ->
+  t1:Satin_engine.Sim_time.t ->
+  width:int ->
+  unit ->
+  string
+(** Lanes for the window [\[t0, t1)], [width] columns. Secure windows
+    shorter than one column still paint their column (a 7 ms round remains
+    visible on a 100 s axis). Markers are painted last, clipped to the
+    window. Raises [Invalid_argument] if [t1 <= t0] or [width < 10]. *)
+
+val secure_windows : recorder -> core:int -> (Satin_engine.Sim_time.t * Satin_engine.Sim_time.t) list
+(** Completed [(entry, exit)] windows recorded so far, oldest first (an
+    open window is closed at the current instant). *)

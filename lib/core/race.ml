@@ -1,0 +1,64 @@
+module Cycle_model = Satin_hw.Cycle_model
+
+type params = {
+  ts_switch : float;
+  ts_1byte : float;
+  tns_sched : float;
+  tns_threshold : float;
+  tns_recover : float;
+}
+
+let paper_worst_case =
+  {
+    ts_switch = 3.60e-6;
+    ts_1byte = 6.67e-9;
+    tns_sched = 2.0e-4;
+    tns_threshold = 1.8e-3;
+    tns_recover = 6.13e-3;
+  }
+
+let of_cycle cycle ~checker_core ~evader_core =
+  let open Cycle_model in
+  {
+    ts_switch = (cycle.world_switch checker_core).t_max;
+    ts_1byte = (cycle.hash_1byte checker_core).t_min;
+    tns_sched = cycle.rt_sleep;
+    tns_threshold = 1.8e-3;
+    tns_recover = (cycle.recover_8bytes evader_core).t_max;
+  }
+
+let tns_delay p = p.tns_sched +. p.tns_threshold
+
+let s_bound p =
+  int_of_float
+    (Float.round ((tns_delay p +. p.tns_recover -. p.ts_switch) /. p.ts_1byte))
+
+let scan_time p ~bytes = p.ts_switch +. (float_of_int bytes *. p.ts_1byte)
+let hide_time p = tns_delay p +. p.tns_recover
+
+let evasion_succeeds p ~s = scan_time p ~bytes:s > hide_time p
+
+let unprotected_fraction p ~kernel_size =
+  if kernel_size <= 0 then invalid_arg "Race.unprotected_fraction: empty kernel";
+  let s = float_of_int (s_bound p) and n = float_of_int kernel_size in
+  Float.max 0.0 (1.0 -. (s /. n))
+
+let max_area_size = s_bound
+
+let preemptive_scan_time p ~bytes ~storm_hz ~handler_s =
+  if storm_hz < 0.0 || handler_s < 0.0 then
+    invalid_arg "Race.preemptive_scan_time: negative storm parameters";
+  let load = storm_hz *. handler_s in
+  if load >= 1.0 then
+    invalid_arg "Race.preemptive_scan_time: storm saturates the core";
+  scan_time p ~bytes /. (1.0 -. load)
+
+let storm_to_evade p ~bytes ~handler_s =
+  if handler_s <= 0.0 then invalid_arg "Race.storm_to_evade: handler_s <= 0";
+  (* Solve preemptive_scan_time = hide_time for storm_hz. *)
+  let base = scan_time p ~bytes in
+  let hide = hide_time p in
+  if base >= hide then 0.0 (* already evadable without any storm *)
+  else
+    let load = 1.0 -. (base /. hide) in
+    if load >= 1.0 then infinity else load /. handler_s

@@ -1,0 +1,79 @@
+(** Closed-form race-condition analysis (§III-B2, §IV-C).
+
+    Equation (1): the evasion succeeds when
+
+    [Ts_switch + S·Ts_1byte > Tns_delay + Tns_recover]
+
+    where [Tns_delay = Tns_sched + Tns_threshold]. Equation (2) rearranges
+    for the number of bytes [S] the checker may inspect before the attacker
+    finishes hiding; any malicious byte deeper than [S] into the scan is
+    unreachable in time. *)
+
+type params = {
+  ts_switch : float; (** world-switch entry latency, s *)
+  ts_1byte : float; (** checker's per-byte scan cost, s *)
+  tns_sched : float; (** prober round period, s *)
+  tns_threshold : float; (** probing threshold, s *)
+  tns_recover : float; (** attacker's trace-recovery time, s *)
+}
+
+val paper_worst_case : params
+(** §IV-C's evaluation point, worst for the attacker: checker on an A57 at
+    its fastest byte rate (6.67 ns), attacker recovering at its slowest
+    (6.13 ms) with the largest observed threshold (1.8 ms) and
+    [Tns_sched] = 200 µs; [Ts_switch] = 3.60 µs. *)
+
+val of_cycle :
+  Satin_hw.Cycle_model.t ->
+  checker_core:Satin_hw.Cycle_model.core_type ->
+  evader_core:Satin_hw.Cycle_model.core_type ->
+  params
+(** The same worst-for-attacker convention, read out of a cycle model. *)
+
+val tns_delay : params -> float
+(** [tns_sched + tns_threshold]. *)
+
+val s_bound : params -> int
+(** Equation (2): the largest [S] for which the evasion still wins
+    (1,218,351 bytes at {!paper_worst_case}). *)
+
+val evasion_succeeds : params -> s:int -> bool
+(** Equation (1) for a malicious byte reached after [s] scanned bytes. *)
+
+val unprotected_fraction : params -> kernel_size:int -> float
+(** Fraction of a [kernel_size]-byte image beyond the {!s_bound} horizon
+    (≈ 0.90 for the paper's 11,916,240-byte kernel). *)
+
+val max_area_size : params -> int
+(** SATIN's area-size bound (§V-B): with areas smaller than this, the scan
+    of a whole area completes before the attacker can finish hiding, no
+    matter where in the area the malicious bytes sit. *)
+
+val scan_time : params -> bytes:int -> float
+(** [ts_switch + bytes·ts_1byte]: seconds from wake-up until the scan front
+    passes the [bytes]-th byte. *)
+
+val hide_time : params -> float
+(** [tns_delay + tns_recover]: seconds from wake-up until the attacker's
+    last byte is restored. *)
+
+(** {1 Why SATIN blocks interrupts during a round (§V-B)}
+
+    If the secure world were preemptive (§II-B: non-secure interrupts routed
+    into S-EL1 and honoured), the normal world could stretch a scan with an
+    interrupt storm: every delivered interrupt suspends the scan for one
+    handler round-trip, dilating the front self-consistently. *)
+
+val preemptive_scan_time :
+  params -> bytes:int -> storm_hz:float -> handler_s:float -> float
+(** Time for the front to reach byte [bytes] when a [storm_hz] interrupt
+    flood, each costing [handler_s] of secure-side suspension, is allowed to
+    preempt the scan: [(ts_switch + bytes·ts_1byte) / (1 − storm_hz·handler_s)].
+    Raises [Invalid_argument] if the storm saturates the core
+    ([storm_hz·handler_s ≥ 1], a denial-of-scan). *)
+
+val storm_to_evade : params -> bytes:int -> handler_s:float -> float
+(** The interrupt rate at which a preemptive scan of [bytes] becomes slower
+    than the hide — i.e. the storm the attacker needs to reopen the §IV race
+    that SATIN's area bound had closed. [infinity] when even a saturating
+    storm cannot help (the area is so small the hide loses regardless). *)

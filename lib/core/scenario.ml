@@ -1,0 +1,53 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Platform = Satin_hw.Platform
+
+type t = {
+  platform : Platform.t;
+  kernel : Satin_kernel.Kernel.t;
+  tsp : Satin_tz.Tsp.t;
+  secure_memory : Satin_tz.Secure_memory.t;
+  checker : Satin_introspect.Checker.t;
+}
+
+(* The secure carve-out sits well above the ~13.4 MiB end of the kernel
+   image within the 32 MiB simulated DRAM. *)
+let secure_base = 24 * 1024 * 1024
+let secure_size = 1024 * 1024
+
+let create ?(seed = 42) ?cycle ?layout ?(algo = Satin_introspect.Hash.Djb2)
+    ?(style = Satin_introspect.Checker.Direct_hash) () =
+  let platform = Platform.juno_r1 ~seed ?cycle () in
+  let kernel = Satin_kernel.Kernel.boot ?layout platform in
+  let tsp = Satin_tz.Tsp.install platform in
+  let secure_memory =
+    Satin_tz.Secure_memory.create ~memory:platform.Platform.memory
+      ~base:secure_base ~size:secure_size
+  in
+  let checker =
+    Satin_introspect.Checker.create ~memory:platform.Platform.memory
+      ~cycle:platform.Platform.cycle ~prng:(Platform.split_prng platform) ~algo
+      ~style
+  in
+  { platform; kernel; tsp; secure_memory; checker }
+
+let engine t = t.platform.Platform.engine
+let now t = Engine.now (engine t)
+let run_until t time = Engine.run_until (engine t) time
+let run_for t d = run_until t (Sim_time.add (now t) d)
+
+let install_satin t ?(config = Satin_introspect.Satin.default_config) () =
+  let satin =
+    Satin_introspect.Satin.install ~tsp:t.tsp ~kernel:t.kernel ~checker:t.checker
+      ~secure_memory:t.secure_memory config
+  in
+  Satin_introspect.Satin.start satin;
+  satin
+
+let install_baseline t config =
+  let b =
+    Satin_introspect.Baseline.install ~tsp:t.tsp ~kernel:t.kernel
+      ~checker:t.checker config
+  in
+  Satin_introspect.Baseline.start b;
+  b

@@ -1,0 +1,43 @@
+(** Full-system scenario builder.
+
+    One call assembles the paper's evaluation platform: the simulated Juno
+    r1, a booted rich OS with the lsk-4.4-style kernel image, the secure
+    world (TSP + secure memory carve-out), and an integrity checker. Defense
+    and attack components are then installed on top by the experiments (or
+    by library users). *)
+
+type t = {
+  platform : Satin_hw.Platform.t;
+  kernel : Satin_kernel.Kernel.t;
+  tsp : Satin_tz.Tsp.t;
+  secure_memory : Satin_tz.Secure_memory.t;
+  checker : Satin_introspect.Checker.t;
+}
+
+val create :
+  ?seed:int ->
+  ?cycle:Satin_hw.Cycle_model.t ->
+  ?layout:Satin_kernel.Layout.t ->
+  ?algo:Satin_introspect.Hash.algo ->
+  ?style:Satin_introspect.Checker.style ->
+  unit ->
+  t
+(** Defaults: seed 42, Juno r1 calibration, the paper kernel layout, djb2,
+    direct hash. *)
+
+val run_for : t -> Satin_engine.Sim_time.t -> unit
+(** Advance the simulation by a duration. *)
+
+val run_until : t -> Satin_engine.Sim_time.t -> unit
+
+val now : t -> Satin_engine.Sim_time.t
+
+val engine : t -> Satin_engine.Engine.t
+
+val install_satin :
+  t -> ?config:Satin_introspect.Satin.config -> unit -> Satin_introspect.Satin.t
+(** Installs and starts SATIN with its default (or given) configuration. *)
+
+val install_baseline :
+  t -> Satin_introspect.Baseline.config -> Satin_introspect.Baseline.t
+(** Installs and starts a PKM-style baseline defense. *)

@@ -1,0 +1,65 @@
+type handle = Event_queue.handle
+
+type t = {
+  mutable clock : Sim_time.t;
+  queue : (unit -> unit) Event_queue.t;
+}
+
+exception Schedule_in_past
+
+let create () = { clock = Sim_time.zero; queue = Event_queue.create () }
+let now t = t.clock
+let pending t = Event_queue.length t.queue
+
+let at t ~time f =
+  if time < t.clock then raise Schedule_in_past;
+  Event_queue.push t.queue ~time f
+
+let schedule t ~after f =
+  if Sim_time.is_negative after then raise Schedule_in_past;
+  at t ~time:(Sim_time.add t.clock after) f
+
+let cancel t handle = Event_queue.cancel t.queue handle
+let is_live = Event_queue.is_live
+
+let every t ~period ?start f =
+  let first =
+    match start with Some s -> s | None -> Sim_time.add t.clock period
+  in
+  let cell = ref (Event_queue.push t.queue ~time:t.clock (fun () -> ())) in
+  Event_queue.cancel t.queue !cell;
+  let rec arm time =
+    cell :=
+      at t ~time (fun () ->
+          (* Re-arm first: the callback can then cancel !cell to stop the
+             recurrence (the .mli contract). *)
+          arm (Sim_time.add (now t) period);
+          f ())
+  in
+  arm first;
+  cell
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run_until t stop =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= stop ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if t.clock < stop then t.clock <- stop
+
+let run_all t ?(limit = 100_000_000) () =
+  let rec loop n =
+    if n < limit && step t then loop (n + 1)
+  in
+  loop 0

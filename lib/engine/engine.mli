@@ -1,0 +1,50 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the clock and the pending-event set. Simulated components
+    schedule thunks at future instants; [run_until]/[run_all] drain events in
+    time order. Within one instant, events fire in scheduling order, so a
+    simulation driven by a fixed {!Prng} seed is fully deterministic. *)
+
+type t
+
+type handle = Event_queue.handle
+(** Cancellation token for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current simulated instant. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)
+
+val schedule : t -> after:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after]. [after] must not be
+    negative. *)
+
+val at : t -> time:Sim_time.t -> (unit -> unit) -> handle
+(** [at t ~time f] runs [f] at the absolute instant [time], which must not be
+    in the past. *)
+
+val cancel : t -> handle -> unit
+
+val is_live : handle -> bool
+
+val every :
+  t -> period:Sim_time.t -> ?start:Sim_time.t -> (unit -> unit) -> handle ref
+(** [every t ~period f] runs [f] at [start] (default [now + period]) and then
+    every [period]. The returned ref always holds the handle of the next
+    occurrence; cancel it to stop the recurrence. *)
+
+val run_until : t -> Sim_time.t -> unit
+(** Fire all events up to and including the given instant; the clock ends at
+    exactly that instant even if the queue empties earlier. *)
+
+val run_all : t -> ?limit:int -> unit -> unit
+(** Drain the whole queue (bounded by [limit] events, default 100M, to guard
+    against runaway self-rescheduling). *)
+
+val step : t -> bool
+(** Fire the single earliest event. Returns [false] if the queue is empty. *)
+
+exception Schedule_in_past

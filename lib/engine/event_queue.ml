@@ -1,0 +1,106 @@
+type state = Pending | Fired | Cancelled
+
+type handle = { mutable state : state }
+
+type 'a entry = {
+  time : Sim_time.t;
+  seq : int;
+  payload : 'a;
+  handle : handle;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots >= [size] hold stale entries kept only to satisfy the
+     array type; they are never read. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let length t = t.live
+let is_live h = h.state = Pending
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nheap = Array.make ncap entry in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let push t ~time payload =
+  let handle = { state = Pending } in
+  let entry = { time; seq = t.next_seq; payload; handle } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  handle
+
+let cancel t handle =
+  if handle.state = Pending then begin
+    handle.state <- Cancelled;
+    t.live <- t.live - 1
+  end
+
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end
+
+let rec pop t =
+  if t.size = 0 then None
+  else
+    let top = t.heap.(0) in
+    remove_top t;
+    match top.handle.state with
+    | Cancelled -> pop t
+    | Fired -> pop t
+    | Pending ->
+        top.handle.state <- Fired;
+        t.live <- t.live - 1;
+        Some (top.time, top.payload)
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else
+    let top = t.heap.(0) in
+    if top.handle.state = Pending then Some top.time
+    else begin
+      remove_top t;
+      peek_time t
+    end

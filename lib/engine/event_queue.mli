@@ -1,0 +1,34 @@
+(** Pending-event set for the discrete-event engine.
+
+    A binary min-heap ordered by (time, insertion sequence): events scheduled
+    for the same instant fire in insertion order, which keeps simulations
+    deterministic. Cancellation is O(1) (a tombstone flag); cancelled entries
+    are dropped lazily when they reach the heap top. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> time:Sim_time.t -> 'a -> handle
+(** Schedule a payload at an absolute time. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancel a scheduled event. Cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+
+val is_live : handle -> bool
+(** [is_live h] is [true] until the event fires or is cancelled. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** Time of the earliest live event without removing it. *)

@@ -1,0 +1,59 @@
+(** Simulated time.
+
+    Time is an integer count of nanoseconds since simulation boot. OCaml's
+    63-bit native [int] covers roughly 146 years at nanosecond resolution,
+    far beyond any campaign this library simulates (minutes of simulated
+    time). Durations and instants share the representation; the type
+    distinction is kept informal, as in the ARM generic-timer registers the
+    library models. *)
+
+type t = int
+(** An instant or duration, in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is a duration of [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is [n] seconds. *)
+
+val of_sec_f : float -> t
+(** [of_sec_f x] is [x] seconds rounded to the nearest nanosecond. *)
+
+val to_sec_f : t -> float
+(** [to_sec_f t] is [t] expressed in seconds. *)
+
+val of_ns_f : float -> t
+(** [of_ns_f x] is [x] nanoseconds rounded to the nearest nanosecond. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b]; may be negative. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+
+val scale : t -> float -> t
+(** [scale t k] is [t] multiplied by [k], rounded. *)
+
+val is_negative : t -> bool
+
+val until_next_multiple : period:t -> t -> t
+(** [until_next_multiple ~period now] is the delay from [now] to the next
+    strictly-later multiple of [period] — how the round-synchronized probe
+    threads compute their sleep. Requires [period > 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints with an adaptive unit, e.g. ["2.380e-06 s"] style used by the
+    paper's tables for sub-second values, plain seconds above 1 s. *)
+
+val to_string : t -> string

@@ -1,0 +1,39 @@
+type 'a event = { time : Sim_time.t; value : 'a }
+
+type 'a t = { mutable events : 'a event list; mutable size : int }
+(* Stored in reverse order; reversed on query. *)
+
+let create () = { events = []; size = 0 }
+
+let record t time value =
+  t.events <- { time; value } :: t.events;
+  t.size <- t.size + 1
+
+let length t = t.size
+let to_list t = List.rev t.events
+let values t = List.rev_map (fun e -> e.value) t.events
+let filter p t = List.filter (fun e -> p e.value) (to_list t)
+
+let count p t =
+  List.fold_left (fun acc e -> if p e.value then acc + 1 else acc) 0 t.events
+
+let find_first p t = List.find_opt (fun e -> p e.value) (to_list t)
+let find_last p t = List.find_opt (fun e -> p e.value) t.events
+let last t = match t.events with [] -> None | e :: _ -> Some e
+
+let gaps p t =
+  let times = List.filter_map (fun e -> if p e.value then Some e.time else None) (to_list t) in
+  let rec pair = function
+    | a :: (b :: _ as rest) -> Sim_time.diff b a :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair times
+
+let clear t =
+  t.events <- [];
+  t.size <- 0
+
+let pp pp_value fmt t =
+  List.iter
+    (fun e -> Format.fprintf fmt "[%a] %a@." Sim_time.pp e.time pp_value e.value)
+    (to_list t)

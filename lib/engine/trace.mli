@@ -1,0 +1,41 @@
+(** Typed event trace for experiments.
+
+    A trace records timestamped events of an arbitrary payload type so that
+    experiment code can assert on the exact interleaving of simulated
+    introspection rounds, probe reports, attack transitions, etc. Traces are
+    append-only during a run and queried afterwards. *)
+
+type 'a t
+
+type 'a event = { time : Sim_time.t; value : 'a }
+
+val create : unit -> 'a t
+
+val record : 'a t -> Sim_time.t -> 'a -> unit
+
+val length : 'a t -> int
+
+val to_list : 'a t -> 'a event list
+(** Events in recording order. *)
+
+val values : 'a t -> 'a list
+
+val filter : ('a -> bool) -> 'a t -> 'a event list
+
+val count : ('a -> bool) -> 'a t -> int
+
+val find_first : ('a -> bool) -> 'a t -> 'a event option
+
+val find_last : ('a -> bool) -> 'a t -> 'a event option
+
+val last : 'a t -> 'a event option
+
+val gaps : ('a -> bool) -> 'a t -> Sim_time.t list
+(** [gaps p t] is the list of time differences between consecutive events
+    satisfying [p] — e.g. the paper's "average time between two consecutive
+    checks for area 14". *)
+
+val clear : 'a t -> unit
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,59 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+
+type t = {
+  engine : Engine.t;
+  id : int;
+  core_type : Cycle_model.core_type;
+  mutable world : World.t;
+  mutable hooks : (t -> World.t -> unit) list; (* reverse registration order *)
+  mutable secure_time_total : Sim_time.t;
+  mutable secure_entries : int;
+  mutable entered_secure_at : Sim_time.t option;
+  mutable exited_secure_at : Sim_time.t option;
+}
+
+let create ~engine ~id ~core_type =
+  {
+    engine;
+    id;
+    core_type;
+    world = World.Normal;
+    hooks = [];
+    secure_time_total = Sim_time.zero;
+    secure_entries = 0;
+    entered_secure_at = None;
+    exited_secure_at = None;
+  }
+
+let id t = t.id
+let core_type t = t.core_type
+let world t = t.world
+let in_secure t = World.equal t.world World.Secure
+let on_world_change t f = t.hooks <- f :: t.hooks
+let secure_time_total t = t.secure_time_total
+let secure_entries t = t.secure_entries
+let last_entry_time t = t.entered_secure_at
+let last_exit_time t = t.exited_secure_at
+
+let set_world t w =
+  if not (World.equal t.world w) then begin
+    let now = Engine.now t.engine in
+    (match w with
+    | World.Secure ->
+        t.secure_entries <- t.secure_entries + 1;
+        t.entered_secure_at <- Some now
+    | World.Normal -> (
+        match t.entered_secure_at with
+        | Some entry ->
+            t.secure_time_total <-
+              Sim_time.add t.secure_time_total (Sim_time.diff now entry);
+            t.exited_secure_at <- Some now
+        | None -> ()));
+    t.world <- w;
+    List.iter (fun f -> f t w) (List.rev t.hooks)
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "core%d(%a,%a)" t.id Cycle_model.pp_core_type t.core_type
+    World.pp t.world

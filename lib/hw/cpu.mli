@@ -1,0 +1,42 @@
+(** CPU cores.
+
+    Each core carries its big.LITTLE type, its current TrustZone world, and
+    occupancy accounting. The one observable the paper's attack needs is
+    exactly what this module exposes to the rest of the simulation: while a
+    core is in the secure world it cannot run normal-world tasks, so its
+    pinned threads stall — the CPU-availability side channel. *)
+
+type t
+
+val create :
+  engine:Satin_engine.Engine.t -> id:int -> core_type:Cycle_model.core_type -> t
+
+val id : t -> int
+val core_type : t -> Cycle_model.core_type
+val world : t -> World.t
+
+val set_world : t -> World.t -> unit
+(** Switches worlds, updates accounting, and fires the registered hooks
+    (in registration order). No-op if the world is unchanged. *)
+
+val on_world_change : t -> (t -> World.t -> unit) -> unit
+(** [on_world_change core f] registers [f], called as [f core new_world]
+    after every world transition. The kernel scheduler and the GIC subscribe
+    here. *)
+
+val in_secure : t -> bool
+
+val secure_time_total : t -> Satin_engine.Sim_time.t
+(** Cumulative simulated time this core has spent in the secure world. *)
+
+val secure_entries : t -> int
+(** Number of normal→secure transitions so far. *)
+
+val last_entry_time : t -> Satin_engine.Sim_time.t option
+(** Instant of the most recent normal→secure transition. *)
+
+val last_exit_time : t -> Satin_engine.Sim_time.t option
+(** Instant of the most recent secure→normal transition (drives the
+    post-introspection cache-refill penalty in the workload model). *)
+
+val pp : Format.formatter -> t -> unit

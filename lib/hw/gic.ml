@@ -1,0 +1,71 @@
+type group = Group0_secure | Group1_non_secure
+
+type irq = int
+
+type irq_desc = {
+  group : group;
+  name : string;
+  mutable secure_handler : (core:int -> unit) option;
+  mutable normal_handler : (core:int -> unit) option;
+  mutable delivered : int;
+}
+
+type t = {
+  table : (irq, irq_desc) Hashtbl.t;
+  pending : irq Queue.t array; (* per-core pended non-secure interrupts *)
+}
+
+let create ~ncores =
+  if ncores <= 0 then invalid_arg "Gic.create: ncores must be positive";
+  { table = Hashtbl.create 16; pending = Array.init ncores (fun _ -> Queue.create ()) }
+
+let define t ~irq ~group ~name =
+  if Hashtbl.mem t.table irq then
+    invalid_arg (Printf.sprintf "Gic.define: irq %d (%s) already defined" irq name);
+  Hashtbl.replace t.table irq
+    { group; name; secure_handler = None; normal_handler = None; delivered = 0 }
+
+let desc t irq =
+  match Hashtbl.find_opt t.table irq with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Gic: undeclared irq %d" irq)
+
+let set_secure_handler t ~irq f = (desc t irq).secure_handler <- Some f
+let set_normal_handler t ~irq f = (desc t irq).normal_handler <- Some f
+
+let deliver d ~core =
+  let handler =
+    match d.group with
+    | Group0_secure -> d.secure_handler
+    | Group1_non_secure -> d.normal_handler
+  in
+  match handler with
+  | Some f ->
+      d.delivered <- d.delivered + 1;
+      f ~core
+  | None ->
+      invalid_arg (Printf.sprintf "Gic: irq %s has no handler for its route" d.name)
+
+let raise_irq t ~core ~world_of_core ~irq =
+  let d = desc t irq in
+  match d.group, world_of_core with
+  | Group0_secure, _ -> deliver d ~core
+  | Group1_non_secure, World.Normal -> deliver d ~core
+  | Group1_non_secure, World.Secure ->
+      (* SCR_EL3.IRQ = 0: the normal-world interrupt waits for world exit. *)
+      Queue.add irq t.pending.(core)
+
+let flush_pending t ~core ~world_of_core =
+  let q = t.pending.(core) in
+  (* Drain a snapshot: a delivered handler may re-raise interrupts, and it
+     may even re-enter the secure world — re-route each pended interrupt
+     against the core's CURRENT world so the remainder pends again instead
+     of running normal-world handlers on a secure core. *)
+  let drained = Queue.create () in
+  Queue.transfer q drained;
+  Queue.iter
+    (fun irq -> raise_irq t ~core ~world_of_core:(world_of_core ()) ~irq)
+    drained
+
+let pending_count t ~core = Queue.length t.pending.(core)
+let delivered_count t ~irq = (desc t irq).delivered

@@ -1,0 +1,48 @@
+(** Generic Interrupt Controller model.
+
+    Interrupts belong to Group 0 (secure) or Group 1 non-secure, as in GICv2
+    on Juno. The routing rules the paper depends on (§II-B, §V-B):
+
+    - A secure interrupt is always delivered to its secure-world handler (the
+      EL3 monitor path), even if the core is running the normal world — this
+      is how SATIN's secure timer wakes the introspection.
+    - A non-secure interrupt raised while its target core is executing in the
+      secure world is {e pended}, not delivered: SATIN configures
+      [SCR_EL3.IRQ = 0] so the integrity check cannot be preempted by the
+      normal world. Pended interrupts are delivered when the core returns to
+      the normal world.
+
+    Handlers receive the core id on which the interrupt is taken. *)
+
+type t
+
+type group = Group0_secure | Group1_non_secure
+
+type irq = int
+(** Interrupt identifier (a small integer, e.g. 29 for the per-core secure
+    physical timer PPI). *)
+
+val create : ncores:int -> t
+
+val define : t -> irq:irq -> group:group -> name:string -> unit
+(** Declares an interrupt. Redefinition raises [Invalid_argument]. *)
+
+val set_secure_handler : t -> irq:irq -> (core:int -> unit) -> unit
+val set_normal_handler : t -> irq:irq -> (core:int -> unit) -> unit
+
+val raise_irq : t -> core:int -> world_of_core:World.t -> irq:irq -> unit
+(** Routes per the rules above. Raising an undeclared interrupt, or one whose
+    route has no handler, raises [Invalid_argument] — a simulation bug, not a
+    modelled condition. *)
+
+val flush_pending : t -> core:int -> world_of_core:(unit -> World.t) -> unit
+(** Re-routes (in arrival order) all non-secure interrupts pended while the
+    core was in the secure world; [world_of_core] is consulted per delivery
+    because a delivered handler may itself re-enter the secure world, in
+    which case the remainder pends again. The monitor calls this on world
+    exit. *)
+
+val pending_count : t -> core:int -> int
+
+val delivered_count : t -> irq:irq -> int
+(** Total deliveries of an interrupt across all cores (for tests). *)

@@ -1,0 +1,169 @@
+type security = Secure_region | Non_secure_region
+
+type region = {
+  name : string;
+  base : int;
+  size : int;
+  security : security;
+}
+
+type watcher = { mutable active : bool; notify : addr:int -> len:int -> unit }
+
+type guard = {
+  guard_name : string;
+  g_base : int;
+  g_len : int;
+  decide : addr:int -> len:int -> [ `Allow | `Deny ];
+  mutable g_active : bool;
+}
+
+exception Write_trapped of { addr : int; guard_name : string }
+
+type t = {
+  data : Bytes.t;
+  mutable region_list : region list; (* sorted by base *)
+  mutable watchers : watcher list;
+  mutable guards : guard list;
+}
+
+exception Access_violation of { world : World.t; addr : int; region : string }
+
+exception Bad_address of int
+
+let create ~size =
+  if size <= 0 then invalid_arg "Memory.create: size must be positive";
+  { data = Bytes.make size '\000'; region_list = []; watchers = []; guards = [] }
+
+let size t = Bytes.length t.data
+
+let overlaps a b =
+  a.base < b.base + b.size && b.base < a.base + a.size
+
+let add_region t ~name ~base ~size ~security =
+  if base < 0 || size <= 0 || base + size > Bytes.length t.data then
+    invalid_arg (Printf.sprintf "Memory.add_region %s: out of address space" name);
+  let r = { name; base; size; security } in
+  List.iter
+    (fun existing ->
+      if overlaps existing r then
+        invalid_arg
+          (Printf.sprintf "Memory.add_region %s: overlaps region %s" name
+             existing.name))
+    t.region_list;
+  t.region_list <-
+    List.sort (fun a b -> compare a.base b.base) (r :: t.region_list);
+  r
+
+let region_of_addr t addr =
+  List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.region_list
+
+let regions t = t.region_list
+
+let check_access t ~world ~addr =
+  if addr < 0 || addr >= Bytes.length t.data then raise (Bad_address addr);
+  match world, region_of_addr t addr with
+  | World.Secure, _ -> ()
+  | World.Normal, Some { security = Secure_region; name; _ } ->
+      raise (Access_violation { world; addr; region = name })
+  | World.Normal, (Some { security = Non_secure_region; _ } | None) -> ()
+
+(* Range checks validate only the end regions plus any secure region inside;
+   for the access patterns here (ranges either fully secure or fully
+   non-secure) checking every byte's region would be wasted work, but a range
+   straddling into a secure region must still trap, so we scan region
+   boundaries, not bytes. *)
+let check_range t ~world ~addr ~len =
+  if len < 0 then invalid_arg "Memory: negative length";
+  if addr < 0 || addr + len > Bytes.length t.data then raise (Bad_address addr);
+  match world with
+  | World.Secure -> ()
+  | World.Normal ->
+      List.iter
+        (fun r ->
+          if r.security = Secure_region && r.base < addr + len
+             && addr < r.base + r.size
+          then raise (Access_violation { world; addr; region = r.name }))
+        t.region_list
+
+let read_byte t ~world ~addr =
+  check_access t ~world ~addr;
+  Char.code (Bytes.get t.data addr)
+
+let notify_write t ~addr ~len =
+  List.iter (fun w -> if w.active then w.notify ~addr ~len) t.watchers
+
+(* Normal-world writes are screened by active guards before landing; the
+   secure world owns the page tables and is never trapped. *)
+let check_guards t ~world ~addr ~len =
+  match world with
+  | World.Secure -> ()
+  | World.Normal ->
+      List.iter
+        (fun g ->
+          if g.g_active && g.g_base < addr + len && addr < g.g_base + g.g_len
+          then
+            match g.decide ~addr ~len with
+            | `Allow -> ()
+            | `Deny -> raise (Write_trapped { addr; guard_name = g.guard_name }))
+        t.guards
+
+let write_byte t ~world ~addr v =
+  check_access t ~world ~addr;
+  check_guards t ~world ~addr ~len:1;
+  Bytes.set t.data addr (Char.chr (v land 0xff));
+  notify_write t ~addr ~len:1
+
+let read_bytes t ~world ~addr ~len =
+  check_range t ~world ~addr ~len;
+  Bytes.sub t.data addr len
+
+let write_string t ~world ~addr s =
+  check_range t ~world ~addr ~len:(String.length s);
+  check_guards t ~world ~addr ~len:(String.length s);
+  Bytes.blit_string s 0 t.data addr (String.length s);
+  notify_write t ~addr ~len:(String.length s)
+
+let read_int64_le t ~world ~addr =
+  let b = read_bytes t ~world ~addr ~len:8 in
+  Bytes.get_int64_le b 0
+
+let write_int64_le t ~world ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_string t ~world ~addr (Bytes.to_string b)
+
+let fold_range t ~world ~addr ~len ~init ~f =
+  check_range t ~world ~addr ~len;
+  let acc = ref init in
+  for i = addr to addr + len - 1 do
+    acc := f !acc (Char.code (Bytes.unsafe_get t.data i))
+  done;
+  !acc
+
+let blit_within t ~world ~src ~dst ~len =
+  check_range t ~world ~addr:src ~len;
+  check_range t ~world ~addr:dst ~len;
+  check_guards t ~world ~addr:dst ~len;
+  Bytes.blit t.data src t.data dst len;
+  notify_write t ~addr:dst ~len
+
+let add_write_guard t ~name ~base ~len ~decide =
+  if len <= 0 then invalid_arg "Memory.add_write_guard: empty range";
+  let g =
+    { guard_name = name; g_base = base; g_len = len; decide; g_active = true }
+  in
+  t.guards <- g :: t.guards;
+  g
+
+let remove_write_guard t g = t.guards <- List.filter (fun x -> x != g) t.guards
+let disable_write_guard g = g.g_active <- false
+let guard_active g = g.g_active
+
+let add_write_watcher t notify =
+  let w = { active = true; notify } in
+  t.watchers <- w :: t.watchers;
+  w
+
+let remove_write_watcher t w =
+  w.active <- false;
+  t.watchers <- List.filter (fun x -> x != w) t.watchers

@@ -1,0 +1,102 @@
+(** Physical memory with TrustZone security attributes.
+
+    Memory is a flat byte array partitioned into named regions, each tagged
+    secure or non-secure (as the TZASC does on real silicon). Accesses carry
+    the issuing world: the secure world may touch everything; a normal-world
+    access to a secure region raises {!Access_violation}. This is the
+    isolation boundary the whole paper rests on — the wake-up time queue,
+    area set, and authorized hash table live in a secure region the rootkit
+    cannot read. *)
+
+type t
+
+type security = Secure_region | Non_secure_region
+
+type region = {
+  name : string;
+  base : int;
+  size : int;
+  security : security;
+}
+
+exception Access_violation of { world : World.t; addr : int; region : string }
+
+exception Bad_address of int
+
+val create : size:int -> t
+(** Fresh memory of [size] bytes, zero-filled, with no regions declared.
+    Addresses with no declared region are treated as non-secure DRAM. *)
+
+val size : t -> int
+
+val add_region :
+  t -> name:string -> base:int -> size:int -> security:security -> region
+(** Declares a region. Raises [Invalid_argument] on overlap with an existing
+    region or if it exceeds the address space. *)
+
+val region_of_addr : t -> int -> region option
+
+val regions : t -> region list
+(** Declared regions, sorted by base address. *)
+
+val check_access : t -> world:World.t -> addr:int -> unit
+(** Raises {!Access_violation} or {!Bad_address} as appropriate. *)
+
+val read_byte : t -> world:World.t -> addr:int -> int
+
+val write_byte : t -> world:World.t -> addr:int -> int -> unit
+
+val read_bytes : t -> world:World.t -> addr:int -> len:int -> bytes
+(** A snapshot copy (the "capture then analyze" introspection style). *)
+
+val write_string : t -> world:World.t -> addr:int -> string -> unit
+
+val read_int64_le : t -> world:World.t -> addr:int -> int64
+val write_int64_le : t -> world:World.t -> addr:int -> int64 -> unit
+(** Little-endian 64-bit accessors (the syscall table, PCB fields, and
+    secure-memory cells are all word-granular). *)
+
+val fold_range :
+  t -> world:World.t -> addr:int -> len:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Left fold over a byte range without copying (the "direct hash" style). *)
+
+val blit_within : t -> world:World.t -> src:int -> dst:int -> len:int -> unit
+
+type guard
+(** Registration token for a write guard. *)
+
+exception Write_trapped of { addr : int; guard_name : string }
+
+val add_write_guard :
+  t ->
+  name:string ->
+  base:int ->
+  len:int ->
+  decide:(addr:int -> len:int -> [ `Allow | `Deny ]) ->
+  guard
+(** Page-protection model: normal-world writes touching
+    [\[base, base+len)] are first submitted to [decide]; [`Deny] aborts the
+    write with {!Write_trapped} before any byte lands. Secure-world writes
+    bypass guards (the hypervisor/secure world owns the page tables). This
+    is the hook synchronous introspection (SPROBES / TZ-RKP style) builds
+    on. *)
+
+val remove_write_guard : t -> guard -> unit
+
+val disable_write_guard : guard -> unit
+(** The §VII-A attack: a write-what-where exploit flips the page-table AP
+    bits so the guarded range becomes writable {e without} any trap — the
+    guard object remains registered (the defender believes the hook is in
+    place) but no longer fires. *)
+
+val guard_active : guard -> bool
+
+type watcher
+(** Registration token for a write watcher. *)
+
+val add_write_watcher : t -> (addr:int -> len:int -> unit) -> watcher
+(** [add_write_watcher t f] calls [f ~addr ~len] after every successful
+    write. Used by an in-progress introspection scan to notice normal-world
+    writes racing with its scan front (the TOCTTOU window of §IV-B1). *)
+
+val remove_write_watcher : t -> watcher -> unit

@@ -1,0 +1,41 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Prng = Satin_engine.Prng
+
+type t = {
+  engine : Engine.t;
+  gic : Gic.t;
+  cycle : Cycle_model.t;
+  prng : Prng.t;
+  mutable switches : int;
+}
+
+let create ~engine ~gic ~cycle ~prng = { engine; gic; cycle; prng; switches = 0 }
+
+let sample_switch t ~cpu =
+  Cycle_model.sample_time t.prng (t.cycle.Cycle_model.world_switch (Cpu.core_type cpu))
+
+let payload_start_delay t ~cpu = sample_switch t ~cpu
+
+let enter_secure t ~cpu ~payload ?on_exit () =
+  if Cpu.in_secure cpu then
+    invalid_arg
+      (Printf.sprintf "Monitor.enter_secure: core %d already secure" (Cpu.id cpu));
+  let entry_cost = sample_switch t ~cpu in
+  Cpu.set_world cpu World.Secure;
+  ignore
+    (Engine.schedule t.engine ~after:entry_cost (fun () ->
+         let duration = payload () in
+         if Sim_time.is_negative duration then
+           invalid_arg "Monitor.enter_secure: payload returned negative duration";
+         let exit_cost = sample_switch t ~cpu in
+         ignore
+           (Engine.schedule t.engine ~after:(Sim_time.add duration exit_cost)
+              (fun () ->
+                Cpu.set_world cpu World.Normal;
+                t.switches <- t.switches + 1;
+                Gic.flush_pending t.gic ~core:(Cpu.id cpu)
+                  ~world_of_core:(fun () -> Cpu.world cpu);
+                match on_exit with Some f -> f () | None -> ()))))
+
+let switches t = t.switches

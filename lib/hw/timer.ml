@@ -1,0 +1,41 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+
+type t = {
+  engine : Engine.t;
+  gic : Gic.t;
+  cpu : Cpu.t;
+  irq : Gic.irq;
+  mutable event : Engine.handle option;
+  mutable deadline : Sim_time.t option;
+  mutable fired : int;
+}
+
+let create ~engine ~gic ~cpu ~irq =
+  { engine; gic; cpu; irq; event = None; deadline = None; fired = 0 }
+
+let disarm t =
+  (match t.event with Some h -> Engine.cancel t.engine h | None -> ());
+  t.event <- None;
+  t.deadline <- None
+
+let fire t () =
+  t.event <- None;
+  t.deadline <- None;
+  t.fired <- t.fired + 1;
+  Gic.raise_irq t.gic ~core:(Cpu.id t.cpu) ~world_of_core:(Cpu.world t.cpu)
+    ~irq:t.irq
+
+let arm_at t time =
+  disarm t;
+  let now = Engine.now t.engine in
+  let time = Sim_time.max time now in
+  t.deadline <- Some time;
+  t.event <- Some (Engine.at t.engine ~time (fire t))
+
+let arm_after t delay = arm_at t (Sim_time.add (Engine.now t.engine) delay)
+
+let armed t = t.event <> None
+let deadline t = t.deadline
+let counter t = Engine.now t.engine
+let fired_count t = t.fired

@@ -1,0 +1,38 @@
+(** ARM generic timer model.
+
+    Each core owns private timers driven by the shared physical counter
+    ([CNTPCT_EL0], here the simulation clock). The one that matters for SATIN
+    is the {e secure} physical timer ([CNTPS_*_EL1]): its compare and control
+    registers are accessible only at secure EL, so the normal world can
+    neither observe nor reprogram the next introspection wake-up (§V-C).
+    The same mechanism instantiated with a non-secure interrupt models the
+    rich OS tick timer ([CNTP_*_EL0]).
+
+    When the counter reaches the programmed compare value the timer raises
+    its interrupt through the {!Gic}. *)
+
+type t
+
+val create :
+  engine:Satin_engine.Engine.t -> gic:Gic.t -> cpu:Cpu.t -> irq:Gic.irq -> t
+(** A timer block private to [cpu], wired to raise [irq]. *)
+
+val arm_at : t -> Satin_engine.Sim_time.t -> unit
+(** Program the compare register with an absolute counter value and enable
+    the timer. Re-arming replaces any previously programmed deadline. A
+    deadline in the past fires immediately (hardware behaviour for
+    [CVAL <= CNTPCT]). *)
+
+val arm_after : t -> Satin_engine.Sim_time.t -> unit
+
+val disarm : t -> unit
+(** Clear the enable bit ([CNTPS_CTL_EL1.ENABLE = 0]). *)
+
+val armed : t -> bool
+
+val deadline : t -> Satin_engine.Sim_time.t option
+
+val counter : t -> Satin_engine.Sim_time.t
+(** The shared physical counter value (simulation now). *)
+
+val fired_count : t -> int

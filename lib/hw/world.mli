@@ -1,0 +1,12 @@
+(** TrustZone execution worlds.
+
+    ARMv8-A partitions execution into a normal world (EL0/EL1/EL2) and a
+    secure world (S-EL0/S-EL1), mediated by the EL3 secure monitor. A core is
+    in exactly one world at any instant; the secure world may access normal
+    world resources but not vice versa. *)
+
+type t = Normal | Secure
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,76 @@
+module Layout = Satin_kernel.Layout
+module Cycle_model = Satin_hw.Cycle_model
+
+type t = { index : int; base : int; size : int; label : string }
+
+let pp fmt a =
+  Format.fprintf fmt "area %d [%#x, +%d) %s" a.index a.base a.size a.label
+
+let label_of_symbols base symbols =
+  match List.find_opt (fun s -> s.Layout.sym_addr = base) symbols with
+  | Some s -> s.Layout.sym_name
+  | None -> "?"
+
+let of_layout layout =
+  let symbols = Layout.symbols layout in
+  let _, areas =
+    List.fold_left
+      (fun (base, acc) (index, size) ->
+        let label = label_of_symbols base symbols in
+        (base + size, { index; base; size; label } :: acc))
+      (Layout.base layout, [])
+      (List.mapi (fun i s -> i, s) (Layout.canonical_area_sizes layout))
+  in
+  List.rev areas
+
+let partition layout ~bound =
+  if bound <= 0 then invalid_arg "Area.partition: bound must be positive";
+  let symbols = Layout.symbols layout in
+  List.iter
+    (fun s ->
+      if s.Layout.sym_size > bound then
+        invalid_arg
+          (Printf.sprintf "Area.partition: symbol %s (%d B) exceeds bound %d"
+             s.Layout.sym_name s.Layout.sym_size bound))
+    symbols;
+  let close idx base size acc =
+    { index = idx; base; size; label = label_of_symbols base symbols } :: acc
+  in
+  let rec go idx base size acc = function
+    | [] -> if size > 0 then List.rev (close idx base size acc) else List.rev acc
+    | s :: rest ->
+        if size + s.Layout.sym_size > bound then
+          go (idx + 1) s.Layout.sym_addr s.Layout.sym_size (close idx base size acc)
+            rest
+        else go idx base (size + s.Layout.sym_size) acc rest
+  in
+  match symbols with
+  | [] -> []
+  | first :: rest -> go 0 first.Layout.sym_addr first.Layout.sym_size [] rest
+
+let size_bound ~cycle ~checker_core ~ts_1byte ~tns_threshold =
+  let open Cycle_model in
+  let rate =
+    let tr = cycle.hash_1byte checker_core in
+    match ts_1byte with `Fastest -> tr.t_min | `Average -> tr.t_avg
+  in
+  let tns_sched = cycle.rt_sleep in
+  let tns_recover = (cycle.recover_8bytes A53).t_max in
+  let ts_switch = (cycle.world_switch checker_core).t_max in
+  let budget = tns_sched +. tns_threshold +. tns_recover -. ts_switch in
+  int_of_float (budget /. rate)
+
+let total_size areas = List.fold_left (fun acc a -> acc + a.size) 0 areas
+
+let max_size = function
+  | [] -> invalid_arg "Area.max_size: empty"
+  | areas -> List.fold_left (fun acc a -> max acc a.size) 0 areas
+
+let min_size = function
+  | [] -> invalid_arg "Area.min_size: empty"
+  | areas -> List.fold_left (fun acc a -> min acc a.size) max_int areas
+
+let find_containing areas ~addr =
+  match List.find_opt (fun a -> addr >= a.base && addr < a.base + a.size) areas with
+  | Some a -> a
+  | None -> raise Not_found

@@ -1,0 +1,50 @@
+(** Kernel introspection areas.
+
+    SATIN's divide-and-conquer step (§V-B): the kernel image is split along
+    System.map symbol boundaries into areas small enough that one area can be
+    fully scanned before an evader that has just noticed the world switch can
+    finish hiding. The size bound is the paper's Equation (2) rearranged:
+
+    size < (Tns_delay + Tns_recover − Ts_switch) / Ts_1byte
+
+    with the attacker given the benefit of every worst case (fastest probe,
+    slowest checker byte rate is {e not} assumed — the paper evaluates the
+    bound at the A57's fastest rate, 6.67 ns/B, giving 1,218,351 bytes). *)
+
+type t = {
+  index : int;
+  base : int;
+  size : int;
+  label : string; (** name of the first symbol in the area *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val of_layout : Satin_kernel.Layout.t -> t list
+(** The canonical areas of the layout (the paper's 19 for
+    {!Satin_kernel.Layout.paper_layout}), labelled by their first symbol. *)
+
+val partition : Satin_kernel.Layout.t -> bound:int -> t list
+(** Greedy aggregation of consecutive symbols into areas of at most [bound]
+    bytes each. Raises [Invalid_argument] if some single symbol exceeds
+    [bound]. Yields fewer, larger areas than {!of_layout} when [bound]
+    allows — the general algorithm for arbitrary kernels. *)
+
+val size_bound :
+  cycle:Satin_hw.Cycle_model.t ->
+  checker_core:Satin_hw.Cycle_model.core_type ->
+  ts_1byte:[ `Fastest | `Average ] ->
+  tns_threshold:float ->
+  int
+(** Equation (2)'s byte bound. [tns_threshold] is the attacker's probing
+    threshold (the paper uses its observed worst case, 1.8×10⁻³ s);
+    [Tns_sched] comes from the cycle model's [rt_sleep], [Tns_recover] from
+    the slow (A53) recovery worst case, and [Ts_switch] from the switch
+    triple's maximum. *)
+
+val total_size : t list -> int
+val max_size : t list -> int
+val min_size : t list -> int
+
+val find_containing : t list -> addr:int -> t
+(** Raises [Not_found]. *)

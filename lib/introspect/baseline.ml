@@ -1,0 +1,122 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Prng = Satin_engine.Prng
+module Trace = Satin_engine.Trace
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module Timer = Satin_hw.Timer
+module Monitor = Satin_hw.Monitor
+
+type core_choice = Fixed_core of int | Random_core
+
+type timing = Fixed_period of Sim_time.t | Random_period of Sim_time.t
+
+type config = { timing : timing; core_choice : core_choice }
+
+type t = {
+  tsp : Satin_tz.Tsp.t;
+  platform : Platform.t;
+  checker : Checker.t;
+  config : config;
+  prng : Prng.t;
+  kbase : int;
+  klen : int;
+  trace : Round.t Trace.t;
+  mutable round_hooks : (Round.t -> unit) list;
+  mutable round_index : int;
+  mutable detections : int;
+  mutable running : bool;
+}
+
+let rec install ~tsp ~kernel ~checker config =
+  let platform = Satin_tz.Tsp.platform tsp in
+  let layout = kernel.Satin_kernel.Kernel.layout in
+  let kbase = Satin_kernel.Layout.base layout in
+  let klen = Satin_kernel.Layout.total_size layout in
+  ignore (Checker.enroll checker ~base:kbase ~len:klen);
+  let t =
+    {
+      tsp;
+      platform;
+      checker;
+      config;
+      prng = Platform.split_prng platform;
+      kbase;
+      klen;
+      trace = Trace.create ();
+      round_hooks = [];
+      round_index = 0;
+      detections = 0;
+      running = false;
+    }
+  in
+  Satin_tz.Tsp.set_timer_handler tsp (fun ~core -> handle t ~core);
+  t
+
+and handle t ~core =
+  if t.running then begin
+    let engine = t.platform.Platform.engine in
+    let cpu = Platform.core t.platform core in
+    if Cpu.in_secure cpu then
+      (* The timer raced another secure entry on this core; retry shortly. *)
+      Timer.arm_after t.platform.Platform.secure_timers.(core) (Sim_time.ms 1)
+    else begin
+    let started = Engine.now engine in
+    let index = t.round_index in
+    t.round_index <- t.round_index + 1;
+    Monitor.enter_secure t.platform.Platform.monitor ~cpu
+      ~payload:(fun () ->
+        let scan_started = Engine.now engine in
+        Checker.start_scan t.checker ~engine ~core:cpu ~base:t.kbase ~len:t.klen
+          ~on_verdict:(fun verdict ->
+            if verdict.Checker.v_tampered then t.detections <- t.detections + 1;
+            let round =
+              {
+                Round.index;
+                core;
+                area_index = 0;
+                base = t.kbase;
+                len = t.klen;
+                started;
+                scan_started;
+                duration = Sim_time.diff (Engine.now engine) scan_started;
+                verdict;
+              }
+            in
+            Trace.record t.trace (Engine.now engine) round;
+            List.iter (fun f -> f round) t.round_hooks))
+      ~on_exit:(fun () -> arm_next t)
+      ()
+    end
+  end
+
+and arm_next t =
+  if t.running then begin
+    let delay =
+      match t.config.timing with
+      | Fixed_period p -> p
+      | Random_period p -> Sim_time.of_sec_f (Prng.uniform t.prng 0.0 (2.0 *. Sim_time.to_sec_f p))
+    in
+    let core =
+      match t.config.core_choice with
+      | Fixed_core c -> c
+      | Random_core -> Prng.int t.prng (Platform.ncores t.platform)
+    in
+    Timer.arm_after t.platform.Platform.secure_timers.(core) delay
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    arm_next t
+  end
+
+let stop t =
+  t.running <- false;
+  Satin_tz.Tsp.clear_timer_handler t.tsp;
+  Array.iter Timer.disarm t.platform.Platform.secure_timers
+
+let rounds t = Trace.values t.trace
+let rounds_count t = Trace.length t.trace
+let detections t = t.detections
+let on_round t f = t.round_hooks <- t.round_hooks @ [ f ]

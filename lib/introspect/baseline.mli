@@ -1,0 +1,40 @@
+(** Prior-art asynchronous introspection (Samsung PKM style).
+
+    The state of the art the paper attacks (§III): a secure-world service
+    that periodically — optionally at randomized instants, optionally on a
+    random core — scans the {e entire} kernel image in one round. Because a
+    full-image scan takes ~10⁻¹ s while TZ-Evader needs only ~8×10⁻³ s to
+    notice the world switch and hide, this defense loses the race for ~90%
+    of the kernel (§IV-C), which experiment E8 demonstrates. *)
+
+type core_choice = Fixed_core of int | Random_core
+
+type timing =
+  | Fixed_period of Satin_engine.Sim_time.t
+      (** next wake exactly one period after the previous one *)
+  | Random_period of Satin_engine.Sim_time.t
+      (** base period [tp]; next wake drawn uniformly from [\[0, 2·tp\]]
+          after the previous one *)
+
+type config = { timing : timing; core_choice : core_choice }
+
+type t
+
+val install :
+  tsp:Satin_tz.Tsp.t ->
+  kernel:Satin_kernel.Kernel.t ->
+  checker:Checker.t ->
+  config ->
+  t
+(** Enrolls the full kernel image with the checker and claims the TSP's
+    secure-timer handler. Call {!start} to begin. *)
+
+val start : t -> unit
+(** Arms the first wake-up one period from now. *)
+
+val stop : t -> unit
+
+val rounds : t -> Round.t list
+val rounds_count : t -> int
+val detections : t -> int
+val on_round : t -> (Round.t -> unit) -> unit

@@ -1,0 +1,206 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Prng = Satin_engine.Prng
+module Memory = Satin_hw.Memory
+module World = Satin_hw.World
+module Cpu = Satin_hw.Cpu
+module Cycle_model = Satin_hw.Cycle_model
+
+type style = Direct_hash | Snapshot
+
+let style_to_string = function
+  | Direct_hash -> "direct-hash"
+  | Snapshot -> "snapshot"
+
+let pp_style fmt s = Format.pp_print_string fmt (style_to_string s)
+
+type golden = { g_len : int; g_content : string; g_hash : int64 }
+
+type t = {
+  memory : Memory.t;
+  cycle : Cycle_model.t;
+  prng : Prng.t;
+  algo : Hash.algo;
+  style : style;
+  golden : (int * int, golden) Hashtbl.t; (* keyed by (base, len) *)
+  mutable scans : int;
+  mutable tampered : int;
+}
+
+let create ~memory ~cycle ~prng ~algo ~style =
+  {
+    memory;
+    cycle;
+    prng;
+    algo;
+    style;
+    golden = Hashtbl.create 32;
+    scans = 0;
+    tampered = 0;
+  }
+
+let algo t = t.algo
+let style t = t.style
+
+let enroll t ~base ~len =
+  let content =
+    Bytes.to_string (Memory.read_bytes t.memory ~world:World.Secure ~addr:base ~len)
+  in
+  let hash = Hash.hash_string t.algo content in
+  Hashtbl.replace t.golden (base, len) { g_len = len; g_content = content; g_hash = hash };
+  hash
+
+let enrolled_hash t ~base ~len =
+  Option.map (fun g -> g.g_hash) (Hashtbl.find_opt t.golden (base, len))
+
+type verdict = {
+  v_base : int;
+  v_len : int;
+  v_tampered : bool;
+  v_offsets : int list;
+  v_hash_expected : int64;
+  v_hash_observed : int64;
+}
+
+let per_byte_triple t core_type =
+  match t.style with
+  | Direct_hash -> t.cycle.Cycle_model.hash_1byte core_type
+  | Snapshot -> t.cycle.Cycle_model.snapshot_1byte core_type
+
+(* Collect maximal dirty ranges (offset, len) of the current content
+   relative to golden. Block-compare first so the clean common case costs
+   one memcmp per 4 KiB instead of a byte loop over megabytes. *)
+let diff_block = 4096
+
+let dirty_ranges t golden ~base =
+  let live =
+    Memory.read_bytes t.memory ~world:World.Secure ~addr:base ~len:golden.g_len
+  in
+  let live = Bytes.unsafe_to_string live in
+  if String.equal live golden.g_content then []
+  else begin
+    let ranges = ref [] in
+    let run_start = ref (-1) in
+    let flush i =
+      if !run_start >= 0 then begin
+        ranges := (!run_start, i - !run_start) :: !ranges;
+        run_start := -1
+      end
+    in
+    let len = golden.g_len in
+    let block_equal lo blen =
+      let i = ref lo and equal = ref true in
+      let stop = lo + blen in
+      while !equal && !i < stop do
+        if String.unsafe_get live !i <> String.unsafe_get golden.g_content !i
+        then equal := false
+        else incr i
+      done;
+      !equal
+    in
+    let block = ref 0 in
+    while !block * diff_block < len do
+      let lo = !block * diff_block in
+      let blen = min diff_block (len - lo) in
+      if not (block_equal lo blen) then
+        for i = lo to lo + blen - 1 do
+          if live.[i] <> golden.g_content.[i] then begin
+            if !run_start < 0 then run_start := i
+          end
+          else flush i
+        done
+      else flush lo;
+      incr block
+    done;
+    flush len;
+    List.rev !ranges
+  end
+
+let start_scan t ~engine ~core ~base ~len ~on_verdict =
+  let golden =
+    match Hashtbl.find_opt t.golden (base, len) with
+    | Some g -> g
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Checker.start_scan: range (%#x,%d) not enrolled" base len)
+  in
+  t.scans <- t.scans + 1;
+  let rate_s = Cycle_model.sample t.prng (per_byte_triple t (Cpu.core_type core)) in
+  let duration = Sim_time.of_sec_f (rate_s *. float_of_int len) in
+  let t0 = Engine.now engine in
+  let pass_time offset =
+    Sim_time.add t0 (Sim_time.of_sec_f (rate_s *. float_of_int offset))
+  in
+  let front_offset () =
+    int_of_float (Sim_time.to_sec_f (Sim_time.diff (Engine.now engine) t0) /. rate_s)
+  in
+  let caught : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* Check a suspicious range when the scan front passes it: whatever still
+     differs from golden there is detected. Long ranges are chunked so the
+     detection instant tracks the front at 256-byte granularity (the paper's
+     8-byte traces are a single chunk); a pass time already behind "now"
+     (the front is mid-byte) is clamped — the front is there right now. *)
+  let check_chunk (offset, rlen) =
+    let time = Sim_time.max (pass_time offset) (Engine.now engine) in
+    ignore
+      (Engine.at engine ~time (fun () ->
+           for i = offset to offset + rlen - 1 do
+             let live = Memory.read_byte t.memory ~world:World.Secure ~addr:(base + i) in
+             if live <> Char.code golden.g_content.[i] then
+               Hashtbl.replace caught i ()
+           done))
+  in
+  let check_at_pass (offset, rlen) =
+    let chunk = 256 in
+    let rec go off remaining =
+      if remaining > 0 then begin
+        let n = min chunk remaining in
+        check_chunk (off, n);
+        go (off + n) (remaining - n)
+      end
+    in
+    go offset rlen
+  in
+  List.iter check_at_pass (dirty_ranges t golden ~base);
+  (* Writes racing the scan: anything landing ahead of the front gets a
+     pass-time check; writes behind the front are already missed. *)
+  let watcher =
+    Memory.add_write_watcher t.memory (fun ~addr ~len:wlen ->
+        let lo = max addr base and hi = min (addr + wlen) (base + len) in
+        if lo < hi then begin
+          let front = front_offset () in
+          let lo_off = max (lo - base) front in
+          let hi_off = hi - base in
+          if lo_off < hi_off then check_at_pass (lo_off, hi_off - lo_off)
+        end)
+  in
+  ignore
+    (Engine.schedule engine ~after:duration (fun () ->
+         Memory.remove_write_watcher t.memory watcher;
+         let offsets = Hashtbl.fold (fun k () acc -> k :: acc) caught [] in
+         let offsets = List.sort compare offsets in
+         let tampered = offsets <> [] in
+         if tampered then t.tampered <- t.tampered + 1;
+         let observed =
+           (* Fast path: content back to golden means the observed hash is
+              the authorized one — spare the streaming hash. *)
+           let live =
+             Memory.read_bytes t.memory ~world:World.Secure ~addr:base ~len
+           in
+           if String.equal (Bytes.unsafe_to_string live) golden.g_content then
+             golden.g_hash
+           else Hash.hash_bytes t.algo live
+         in
+         on_verdict
+           {
+             v_base = base;
+             v_len = len;
+             v_tampered = tampered;
+             v_offsets = offsets;
+             v_hash_expected = golden.g_hash;
+             v_hash_observed = observed;
+           }));
+  duration
+
+let scans_started t = t.scans
+let tampered_verdicts t = t.tampered

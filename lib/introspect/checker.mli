@@ -1,0 +1,70 @@
+(** Integrity-checking primitive with faithful race semantics.
+
+    A checker owns the golden (boot-time) content and hashes of enrolled
+    kernel ranges and performs timed scans over physical memory. The crucial
+    modelling decision: a scan is {e not} an instantaneous hash. Its scan
+    front advances linearly at the sampled per-byte rate, and a tampered byte
+    is detected iff it still differs from the golden content {e at the
+    instant the front passes it} — precisely the TOCTTOU race of §III-B2
+    that TZ-Evader exploits and SATIN's area bound defeats. Bytes restored
+    before the front arrives are missed; bytes dirtied behind the front are
+    missed until the next round (the paper's attacker only cleans, but the
+    model handles both directions).
+
+    Two styles, timed from Table I's calibration:
+    - [Direct_hash]: stream the live memory through the hash (cheaper,
+      no buffer — the style the paper recommends).
+    - [Snapshot]: copy then hash (slightly dearer per byte and needs a
+      buffer; the capture front races the attacker the same way). *)
+
+type style = Direct_hash | Snapshot
+
+val style_to_string : style -> string
+val pp_style : Format.formatter -> style -> unit
+
+type t
+
+val create :
+  memory:Satin_hw.Memory.t ->
+  cycle:Satin_hw.Cycle_model.t ->
+  prng:Satin_engine.Prng.t ->
+  algo:Hash.algo ->
+  style:style ->
+  t
+
+val algo : t -> Hash.algo
+val style : t -> style
+
+val enroll : t -> base:int -> len:int -> int64
+(** Capture the golden content and hash of a range (trusted boot). Returns
+    the authorized hash. Re-enrolling a range replaces its golden state. *)
+
+val enrolled_hash : t -> base:int -> len:int -> int64 option
+
+type verdict = {
+  v_base : int;
+  v_len : int;
+  v_tampered : bool;
+  v_offsets : int list; (** offsets (from [v_base]) caught modified, ascending *)
+  v_hash_expected : int64;
+  v_hash_observed : int64; (** hash of the content at scan completion *)
+}
+
+val start_scan :
+  t ->
+  engine:Satin_engine.Engine.t ->
+  core:Satin_hw.Cpu.t ->
+  base:int ->
+  len:int ->
+  on_verdict:(verdict -> unit) ->
+  Satin_engine.Sim_time.t
+(** Begin scanning now on [core]; returns the scan's total duration (pass
+    this to the monitor payload). [on_verdict] fires when the front reaches
+    the end of the range. The range must be enrolled. *)
+
+val per_byte_triple :
+  t -> Satin_hw.Cycle_model.core_type -> Satin_hw.Cycle_model.triple
+(** The calibrated per-byte cost triple for this checker's style. *)
+
+val scans_started : t -> int
+val tampered_verdicts : t -> int

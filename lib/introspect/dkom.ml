@@ -1,0 +1,36 @@
+module Sim_time = Satin_engine.Sim_time
+module Prng = Satin_engine.Prng
+module World = Satin_hw.World
+module Cycle_model = Satin_hw.Cycle_model
+module Proc_table = Satin_kernel.Proc_table
+
+type report = {
+  hidden_pids : int list;
+  ghost_pids : int list;
+  tasks_count : int;
+  runqueue_count : int;
+  duration : Sim_time.t;
+}
+
+let node_visit_cost =
+  Cycle_model.triple ~min_s:8.0e-8 ~avg_s:1.1e-7 ~max_s:1.5e-7
+
+let check table ~prng =
+  let tasks = Proc_table.pids_via_tasks table ~world:World.Secure in
+  let runq = Proc_table.pids_via_runqueue table ~world:World.Secure in
+  let in_list l x = List.mem x l in
+  let hidden_pids = List.filter (fun p -> not (in_list tasks p)) runq in
+  let ghost_pids = List.filter (fun p -> not (in_list runq p)) tasks in
+  let nodes = List.length tasks + List.length runq + 2 in
+  let duration =
+    Cycle_model.per_byte_duration prng node_visit_cost ~bytes:nodes
+  in
+  {
+    hidden_pids;
+    ghost_pids;
+    tasks_count = List.length tasks;
+    runqueue_count = List.length runq;
+    duration;
+  }
+
+let hidden r = r.hidden_pids <> []

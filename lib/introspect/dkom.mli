@@ -1,0 +1,36 @@
+(** Cross-view detection of DKOM process hiding.
+
+    Hash-based integrity checking (the paper's main mechanism) only covers
+    invariant kernel bytes; the process lists mutate legitimately. This
+    plugin closes that gap the way the fine-grained introspection systems
+    cited in the paper's introduction do: walk the all-tasks list and the
+    run queue through physical memory from the secure world and diff the
+    views. A DKOM-hidden process — unlinked from the tasks list but still
+    scheduled — appears only in the run-queue walk.
+
+    The walk is timed against the cycle model: each node is a dependent
+    pointer chase (~a cache miss per node), so even a thousand-process
+    system is examined in well under 10^-4 s. That asymmetry is the
+    interesting result of experiment E13: TZ-Evader needs ~2×10⁻³ s merely
+    to {e notice} the world switch, so a cross-view check is over before
+    any relink can start — dynamic-data checks win the §IV race by an order
+    of magnitude even without SATIN's area trick. *)
+
+type report = {
+  hidden_pids : int list; (** scheduled but missing from the tasks list *)
+  ghost_pids : int list; (** listed but not schedulable (non-runnable or decoy) *)
+  tasks_count : int;
+  runqueue_count : int;
+  duration : Satin_engine.Sim_time.t; (** simulated walk time *)
+}
+
+val node_visit_cost : Satin_hw.Cycle_model.triple
+(** Per-node pointer-chase cost (≈ one DRAM round trip, 80–150 ns). *)
+
+val check :
+  Satin_kernel.Proc_table.t -> prng:Satin_engine.Prng.t -> report
+(** One cross-view pass with secure-world reads. Pure with respect to the
+    simulation clock: callers run it inside a secure window and account
+    [duration] themselves (e.g. as part of a monitor payload). *)
+
+val hidden : report -> bool

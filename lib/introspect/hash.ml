@@ -1,0 +1,45 @@
+type algo = Djb2 | Sdbm | Fnv1a
+
+let algo_to_string = function
+  | Djb2 -> "djb2"
+  | Sdbm -> "sdbm"
+  | Fnv1a -> "fnv1a"
+
+let pp_algo fmt a = Format.pp_print_string fmt (algo_to_string a)
+let all_algos = [ Djb2; Sdbm; Fnv1a ]
+
+let init = function
+  | Djb2 -> 5381L
+  | Sdbm -> 0L
+  | Fnv1a -> 0xcbf29ce484222325L
+
+let step algo h byte =
+  let b = Int64.of_int (byte land 0xff) in
+  match algo with
+  | Djb2 ->
+      (* h * 33 + c *)
+      Int64.add (Int64.mul h 33L) b
+  | Sdbm ->
+      (* c + (h << 6) + (h << 16) - h *)
+      Int64.add b
+        (Int64.sub (Int64.add (Int64.shift_left h 6) (Int64.shift_left h 16)) h)
+  | Fnv1a -> Int64.mul (Int64.logxor h b) 0x100000001b3L
+
+let absorb_int64 algo h v =
+  let acc = ref h in
+  for i = 0 to 7 do
+    acc :=
+      step algo !acc (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done;
+  !acc
+
+let hash_string algo s =
+  let h = ref (init algo) in
+  String.iter (fun c -> h := step algo !h (Char.code c)) s;
+  !h
+
+let hash_bytes algo b = hash_string algo (Bytes.unsafe_to_string b)
+
+let hash_region algo memory ~world ~addr ~len =
+  Satin_hw.Memory.fold_range memory ~world ~addr ~len ~init:(init algo)
+    ~f:(step algo)

@@ -1,0 +1,35 @@
+(** Integrity hash functions.
+
+    The paper's prototype hashes kernel areas with djb2 (Bernstein); sdbm and
+    FNV-1a are provided as drop-in alternatives for ablation. All three are
+    64-bit, streaming, and non-cryptographic — adequate for detecting
+    modifications by an attacker who cannot observe the stored reference
+    values (they live in secure memory). *)
+
+type algo = Djb2 | Sdbm | Fnv1a
+
+val algo_to_string : algo -> string
+val pp_algo : Format.formatter -> algo -> unit
+val all_algos : algo list
+
+val init : algo -> int64
+val step : algo -> int64 -> int -> int64
+(** [step algo h byte] absorbs one byte (0–255). *)
+
+val absorb_int64 : algo -> int64 -> int64 -> int64
+(** [absorb_int64 algo h v] absorbs [v]'s eight little-endian bytes into the
+    running state [h] (used when chaining digests: Merkle nodes, the alarm
+    log). *)
+
+val hash_string : algo -> string -> int64
+val hash_bytes : algo -> bytes -> int64
+
+val hash_region :
+  algo ->
+  Satin_hw.Memory.t ->
+  world:Satin_hw.World.t ->
+  addr:int ->
+  len:int ->
+  int64
+(** Streaming hash straight out of physical memory (the "direct hash"
+    introspection style — no snapshot buffer). *)

@@ -1,0 +1,96 @@
+module Memory = Satin_hw.Memory
+module World = Satin_hw.World
+
+type t = {
+  algo : Hash.algo;
+  base : int;
+  len : int;
+  page_size : int;
+  pages : int;
+  leaves_pow2 : int; (* leaf slots, padded to a power of two *)
+  nodes : int64 array; (* heap layout: node i has children 2i+1, 2i+2 *)
+  mutable rehashes : int;
+}
+
+let base t = t.base
+let length t = t.len
+let page_size t = t.page_size
+let pages t = t.pages
+let node_rehashes t = t.rehashes
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+(* Hash of one live page (short final page allowed). *)
+let leaf_hash t memory page =
+  let off = page * t.page_size in
+  let len = min t.page_size (t.len - off) in
+  if len <= 0 then Hash.init t.algo
+  else
+    Hash.hash_region t.algo memory ~world:World.Secure ~addr:(t.base + off) ~len
+
+(* Internal node: absorb both children's digests. *)
+let combine algo a b =
+  Hash.absorb_int64 algo (Hash.absorb_int64 algo (Hash.init algo) a) b
+
+let leaf_index t page = t.leaves_pow2 - 1 + page
+
+let build ?(page_size = 4096) algo memory ~base ~len =
+  if page_size <= 0 then invalid_arg "Merkle.build: page_size must be positive";
+  if len <= 0 then invalid_arg "Merkle.build: empty range";
+  let pages = (len + page_size - 1) / page_size in
+  let leaves_pow2 = pow2_at_least pages 1 in
+  let t =
+    {
+      algo;
+      base;
+      len;
+      page_size;
+      pages;
+      leaves_pow2;
+      nodes = Array.make ((2 * leaves_pow2) - 1) (Hash.init algo);
+      rehashes = 0;
+    }
+  in
+  for page = 0 to pages - 1 do
+    t.nodes.(leaf_index t page) <- leaf_hash t memory page
+  done;
+  for i = leaves_pow2 - 2 downto 0 do
+    t.nodes.(i) <- combine algo t.nodes.((2 * i) + 1) t.nodes.((2 * i) + 2)
+  done;
+  t
+
+let root t = t.nodes.(0)
+let secure_bytes t = 8 * Array.length t.nodes
+
+let live_root t memory =
+  (* Recompute bottom-up into a scratch array without touching the stored
+     tree. *)
+  let scratch = Array.copy t.nodes in
+  for page = 0 to t.pages - 1 do
+    scratch.(leaf_index t page) <- leaf_hash t memory page
+  done;
+  for i = t.leaves_pow2 - 2 downto 0 do
+    scratch.(i) <- combine t.algo scratch.((2 * i) + 1) scratch.((2 * i) + 2)
+  done;
+  scratch.(0)
+
+let verify_root t memory = Int64.equal (live_root t memory) (root t)
+
+let dirty_pages t memory =
+  let dirty = ref [] in
+  for page = t.pages - 1 downto 0 do
+    if not (Int64.equal (leaf_hash t memory page) t.nodes.(leaf_index t page))
+    then dirty := page :: !dirty
+  done;
+  !dirty
+
+let update_page t memory ~page =
+  if page < 0 || page >= t.pages then invalid_arg "Merkle.update_page: bad page";
+  let idx = ref (leaf_index t page) in
+  t.nodes.(!idx) <- leaf_hash t memory page;
+  while !idx > 0 do
+    idx := (!idx - 1) / 2;
+    t.nodes.(!idx) <-
+      combine t.algo t.nodes.((2 * !idx) + 1) t.nodes.((2 * !idx) + 2);
+    t.rehashes <- t.rehashes + 1
+  done

@@ -1,0 +1,54 @@
+(** Page-granular Merkle hash tree over a kernel range.
+
+    The {!Checker} keeps full golden content in secure memory — precise, but
+    it costs as much secure RAM as the kernel itself (11.9 MB on the paper's
+    board). A hash tree over 4 KiB pages stores 8 bytes per page plus the
+    internal nodes (~46 KiB total for the paper's image, a 250× saving),
+    while still:
+
+    - verifying a whole range by recomputing leaves and comparing bottom-up;
+    - pinpointing {e which} pages changed ({!dirty_pages});
+    - absorbing {e authorized} changes (a kernel live-patch, a legitimate
+      [ro_after_init] transition) in O(log n) node rehashes
+      ({!update_page}), where the flat golden-copy approach must recopy the
+      area.
+
+    This is an engineering extension beyond the paper (its prototype hashes
+    19 flat areas); the area-based race argument is orthogonal — a SATIN
+    deployment can hold one tree per area. *)
+
+type t
+
+val build :
+  ?page_size:int ->
+  Hash.algo ->
+  Satin_hw.Memory.t ->
+  base:int ->
+  len:int ->
+  t
+(** Snapshot the range's page hashes (secure-world reads) and build the
+    tree. [page_size] defaults to 4096 and must be positive. *)
+
+val base : t -> int
+val length : t -> int
+val page_size : t -> int
+val pages : t -> int
+val root : t -> int64
+
+val secure_bytes : t -> int
+(** Secure-memory footprint of the stored tree (8 bytes per node). *)
+
+val verify_root : t -> Satin_hw.Memory.t -> bool
+(** Recompute every leaf from live memory and fold up; [true] iff the root
+    matches. O(len) hashing — same work as a flat scan, same verdict. *)
+
+val dirty_pages : t -> Satin_hw.Memory.t -> int list
+(** Page indices whose live hash differs from the stored leaf, ascending. *)
+
+val update_page : t -> Satin_hw.Memory.t -> page:int -> unit
+(** Authorized update: re-hash one page and the path to the root. Raises
+    [Invalid_argument] on a bad index. *)
+
+val node_rehashes : t -> int
+(** Cumulative internal-node rehash count — lets tests pin the O(log n)
+    update cost. *)

@@ -1,0 +1,21 @@
+module Sim_time = Satin_engine.Sim_time
+
+type t = {
+  index : int;
+  core : int;
+  area_index : int;
+  base : int;
+  len : int;
+  started : Sim_time.t;
+  scan_started : Sim_time.t;
+  duration : Sim_time.t;
+  verdict : Checker.verdict;
+}
+
+let detected t = t.verdict.Checker.v_tampered
+
+let pp fmt t =
+  Format.fprintf fmt "round %d: core %d area %d [%#x,+%d) at %a (%a) -> %s"
+    t.index t.core t.area_index t.base t.len Sim_time.pp t.started Sim_time.pp
+    t.duration
+    (if detected t then "TAMPERED" else "clean")

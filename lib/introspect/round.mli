@@ -1,0 +1,16 @@
+(** One completed introspection round (shared by all defenses). *)
+
+type t = {
+  index : int; (** 0-based round counter *)
+  core : int; (** core that performed the check *)
+  area_index : int; (** index of the scanned area; 0 for full-kernel scans *)
+  base : int;
+  len : int;
+  started : Satin_engine.Sim_time.t; (** wake-up instant (timer fire) *)
+  scan_started : Satin_engine.Sim_time.t; (** after the world switch *)
+  duration : Satin_engine.Sim_time.t; (** scan duration *)
+  verdict : Checker.verdict;
+}
+
+val detected : t -> bool
+val pp : Format.formatter -> t -> unit

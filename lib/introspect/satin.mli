@@ -1,0 +1,67 @@
+(** SATIN: secure and trustworthy asynchronous introspection (§V).
+
+    The paper's contribution. Three randomizations defeat TZ-Evader:
+
+    - {b Random introspection area} (integrity checking module, §V-B): the
+      kernel is divided into areas below the Equation (2) size bound; each
+      round scans one area drawn without replacement from the shared area
+      set kept in secure memory, refilled when exhausted — so every [m]
+      rounds cover the whole kernel while one round finishes before an
+      evader can hide.
+    - {b Random wake-up time} (self activation module, §V-C): each round is
+      triggered by a per-core {e secure} timer programmed to the base period
+      [tp = Tgoal / m] plus a uniform deviation in [(-tp, tp)], making the
+      next check unpredictable; consecutive rounds are 0–2·tp apart.
+    - {b Random CPU affinity} (multi-core collaboration, §V-D): rounds
+      rotate over all cores via a wake-up time queue in secure memory — a
+      batch of [n] future wake times dealt to the cores by a fresh random
+      permutation per generation, with no observable cross-core interrupt.
+
+    Each randomization can be disabled independently for the ablation bench. *)
+
+type config = {
+  t_goal : Satin_engine.Sim_time.t;
+      (** time within which every area must be scanned at least once;
+          [tp = t_goal / #areas] *)
+  randomize_area : bool; (** false: round-robin areas in address order *)
+  randomize_period : bool; (** false: deviation 0, wake exactly every [tp] *)
+  randomize_core : bool; (** false: all rounds on core 0 *)
+}
+
+val default_config : config
+(** The paper's: [t_goal] = 152 s over the 19-area layout (so [tp] = 8 s),
+    all randomizations on. *)
+
+type t
+
+val install :
+  tsp:Satin_tz.Tsp.t ->
+  kernel:Satin_kernel.Kernel.t ->
+  checker:Checker.t ->
+  secure_memory:Satin_tz.Secure_memory.t ->
+  ?areas:Area.t list ->
+  config ->
+  t
+(** Enrolls every area (trusted-boot hashing, §VI-A2), sets up the area set
+    and wake-up time queue in secure memory, and claims the TSP secure-timer
+    handler. [areas] defaults to the layout's canonical areas. Call
+    {!start}. *)
+
+val start : t -> unit
+(** Trusted-boot self-activation: deals the first generation of wake times
+    and arms every core's secure timer. *)
+
+val stop : t -> unit
+
+val areas : t -> Area.t list
+val tp : t -> Satin_engine.Sim_time.t
+val rounds : t -> Round.t list
+val rounds_count : t -> int
+val detections : t -> int
+val alarms : t -> Round.t list
+(** Rounds whose verdict was tampered, oldest first. *)
+
+val on_round : t -> (Round.t -> unit) -> unit
+
+val full_passes : t -> int
+(** Number of completed whole-kernel passes (area-set refills). *)

@@ -1,0 +1,75 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Memory = Satin_hw.Memory
+module Platform = Satin_hw.Platform
+module Kernel = Satin_kernel.Kernel
+module Layout = Satin_kernel.Layout
+
+type target = Vectors | Syscall_table
+
+type trap = {
+  trap_time : Sim_time.t;
+  trap_addr : int;
+  trap_target : target;
+}
+
+type t = {
+  memory : Memory.t;
+  engine : Engine.t;
+  vectors_guard : Memory.guard;
+  syscalls_guard : Memory.guard;
+  mutable traps : trap list; (* newest first *)
+}
+
+let guard_of t = function
+  | Vectors -> t.vectors_guard
+  | Syscall_table -> t.syscalls_guard
+
+let install kernel =
+  let platform = kernel.Kernel.platform in
+  let memory = platform.Platform.memory in
+  let engine = platform.Platform.engine in
+  let layout = kernel.Kernel.layout in
+  let t_ref = ref None in
+  let deny target ~addr ~len:_ =
+    (match !t_ref with
+    | Some t ->
+        t.traps <-
+          { trap_time = Engine.now engine; trap_addr = addr; trap_target = target }
+          :: t.traps
+    | None -> ());
+    `Deny
+  in
+  let protect target name (sym : Layout.symbol) =
+    Memory.add_write_guard memory ~name ~base:sym.Layout.sym_addr
+      ~len:sym.Layout.sym_size ~decide:(deny target)
+  in
+  let t =
+    {
+      memory;
+      engine;
+      vectors_guard =
+        protect Vectors "sync_guard:vectors" (Layout.vector_table layout);
+      syscalls_guard =
+        protect Syscall_table "sync_guard:sys_call_table"
+          (Layout.syscall_table layout);
+      traps = [];
+    }
+  in
+  t_ref := Some t;
+  t
+
+let trapped t = List.rev t.traps
+let trapped_count t = List.length t.traps
+
+(* The self-check a real implementation can perform from the secure world:
+   "are my hooks still registered?" — which is exactly what the AP flip
+   does not disturb. *)
+let hook_registered _t _target = true
+
+let actually_enforcing t target = Memory.guard_active (guard_of t target)
+let ap_flip_exploit t target = Memory.disable_write_guard (guard_of t target)
+
+let uninstall t =
+  Memory.remove_write_guard t.memory t.vectors_guard;
+  Memory.remove_write_guard t.memory t.syscalls_guard

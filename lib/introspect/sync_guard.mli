@@ -1,0 +1,52 @@
+(** Synchronous introspection (SPROBES / TZ-RKP model) and its §VII-A limits.
+
+    The paper's threat model assumes the attacker already holds root
+    {e despite} deployed synchronous introspection. This module supplies
+    both halves of that argument:
+
+    - the {b defense}: write-protect the security-critical invariant
+      structures (exception vector table, syscall table) so that any
+      normal-world write traps to the secure world and is denied inline —
+      the SPROBES/TZ-RKP mechanism. A naive rootkit or KProber-I install
+      dies with {!Satin_hw.Memory.Write_trapped} before a byte lands.
+    - the {b bypass} (§VII-A, citing the KNOX bypass [26]): a
+      write-what-where kernel exploit flips the Access Permission bits of
+      the guarded pages' PTEs. The trap simply stops firing; the guard
+      object stays registered, so the defender's "is my hook installed?"
+      self-check still passes. After {!ap_flip_exploit} the same rootkit
+      write succeeds silently.
+
+    Which is precisely why asynchronous introspection is needed as the
+    second layer (§VII-C): it checks {e state}, not {e transitions}, so the
+    modification is caught on the next scan no matter how it got there. *)
+
+type target = Vectors | Syscall_table
+
+type trap = {
+  trap_time : Satin_engine.Sim_time.t;
+  trap_addr : int;
+  trap_target : target;
+}
+
+type t
+
+val install : Satin_kernel.Kernel.t -> t
+(** Protect both targets: all normal-world writes denied. *)
+
+val trapped : t -> trap list
+(** Denied write attempts, oldest first. *)
+
+val trapped_count : t -> int
+
+val hook_registered : t -> target -> bool
+(** The defender's self-check: is the guard object still installed? Keeps
+    answering [true] after an AP flip — the blind spot. *)
+
+val actually_enforcing : t -> target -> bool
+(** Ground truth (what only the page tables know). *)
+
+val ap_flip_exploit : t -> target -> unit
+(** The attacker's write-what-where: silently stop enforcement for one
+    target. *)
+
+val uninstall : t -> unit

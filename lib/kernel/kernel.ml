@@ -1,0 +1,67 @@
+module Engine = Satin_engine.Engine
+module Sim_time = Satin_engine.Sim_time
+module Platform = Satin_hw.Platform
+
+type t = {
+  platform : Platform.t;
+  layout : Layout.t;
+  region : Satin_hw.Memory.region;
+  sched : Sched.t;
+  tick : Timer_irq.t;
+  syscalls : Syscall_table.t;
+  vectors : Vector_table.t;
+}
+
+let boot ?hz ?layout ?(content_seed = 0xBEEF) platform =
+  let layout = match layout with Some l -> l | None -> Layout.paper_layout () in
+  let hz =
+    match hz with Some h -> h | None -> platform.Platform.cycle.Satin_hw.Cycle_model.tick_hz
+  in
+  let region = Layout.install layout platform.Platform.memory ~seed:content_seed in
+  let sched = Sched.create platform in
+  let tick = Timer_irq.create ~platform ~sched ~hz in
+  Timer_irq.start tick;
+  {
+    platform;
+    layout;
+    region;
+    sched;
+    tick;
+    syscalls = Syscall_table.create platform.Platform.memory layout;
+    vectors = Vector_table.create platform.Platform.memory layout;
+  }
+
+let spawn t task = Sched.spawn t.sched task
+let wake t task = Sched.wake t.sched task
+
+let spawn_spinner t ~core =
+  let task =
+    Task.create
+      ~name:(Printf.sprintf "spinner/%d" core)
+      ~policy:Task.Cfs ~affinity:core
+      ~body:(fun _ ->
+        { Task.cpu = Sim_time.us 1_000; after = (fun () -> Task.Reenter) })
+      ()
+  in
+  spawn t task;
+  task
+
+let spawn_load t ~name ?affinity ~burst ~duty () =
+  if duty <= 0.0 || duty > 1.0 then
+    invalid_arg "Kernel.spawn_load: duty must be in (0, 1]";
+  let sleep =
+    Sim_time.max Sim_time.zero
+      (Sim_time.of_sec_f (Sim_time.to_sec_f burst *. ((1.0 /. duty) -. 1.0)))
+  in
+  let body _ =
+    {
+      Task.cpu = burst;
+      after =
+        (fun () -> if sleep = Sim_time.zero then Task.Reenter else Task.Sleep sleep);
+    }
+  in
+  let task = Task.create ~name ~policy:Task.Cfs ?affinity ~body () in
+  spawn t task;
+  task
+
+let now t = Engine.now t.platform.Platform.engine

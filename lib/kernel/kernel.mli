@@ -1,0 +1,33 @@
+(** Rich OS assembly: the normal world's operating system.
+
+    [boot] installs the kernel image into physical memory, creates the
+    scheduler and tick machinery, and starts ticking — after which tasks can
+    be spawned and the secure world can start introspecting the image. *)
+
+type t = {
+  platform : Satin_hw.Platform.t;
+  layout : Layout.t;
+  region : Satin_hw.Memory.region;
+  sched : Sched.t;
+  tick : Timer_irq.t;
+  syscalls : Syscall_table.t;
+  vectors : Vector_table.t;
+}
+
+val boot :
+  ?hz:int -> ?layout:Layout.t -> ?content_seed:int -> Satin_hw.Platform.t -> t
+(** Defaults: [hz] from the platform cycle model, the paper's lsk-4.4 style
+    {!Layout.paper_layout}, content seed 0xBEEF. *)
+
+val spawn : t -> Task.t -> unit
+val wake : t -> Task.t -> unit
+
+val spawn_spinner : t -> core:int -> Task.t
+(** A CFS CPU hog pinned to [core] (KProber-I uses one per core to defeat
+    NO_HZ_IDLE; also handy as background load). Returns the task. *)
+
+val spawn_load : t -> name:string -> ?affinity:int -> burst:Satin_engine.Sim_time.t -> duty:float -> unit -> Task.t
+(** A periodic CFS load: runs [burst] of CPU then sleeps so that its duty
+    cycle is [duty] (0 < duty <= 1). *)
+
+val now : t -> Satin_engine.Sim_time.t

@@ -1,0 +1,146 @@
+module Memory = Satin_hw.Memory
+module World = Satin_hw.World
+
+let node_size = 64
+
+(* Field offsets within a PCB node. *)
+let off_pid = 0
+let off_tasks_next = 8
+let off_tasks_prev = 16
+let off_run_next = 24
+let off_run_prev = 32
+let off_live = 40
+
+type t = {
+  memory : Memory.t;
+  base : int;
+  capacity : int;
+  pid_slot : (int, int) Hashtbl.t; (* pid -> slot index *)
+  mutable free : int list;
+}
+
+let slot_addr t slot = t.base + (slot * node_size)
+let tasks_head t = slot_addr t 0
+let run_head t = slot_addr t 1
+
+let read_word t ~world addr = Memory.read_int64_le t.memory ~world ~addr
+let write_word t ~world addr v = Memory.write_int64_le t.memory ~world ~addr v
+
+let read_addr t ~world addr = Int64.to_int (read_word t ~world addr)
+let write_addr t ~world addr v = write_word t ~world addr (Int64.of_int v)
+
+let create ~memory ~base ~capacity =
+  if capacity <= 0 then invalid_arg "Proc_table.create: capacity must be positive";
+  let size = (capacity + 2) * node_size in
+  ignore
+    (Memory.add_region memory ~name:"kernel_heap" ~base ~size
+       ~security:Memory.Non_secure_region);
+  let t =
+    {
+      memory;
+      base;
+      capacity;
+      pid_slot = Hashtbl.create 32;
+      free = List.init capacity (fun i -> i + 2);
+    }
+  in
+  (* Empty circular lists: each sentinel points to itself. *)
+  let th = tasks_head t and rh = run_head t in
+  write_addr t ~world:World.Secure (th + off_tasks_next) th;
+  write_addr t ~world:World.Secure (th + off_tasks_prev) th;
+  write_addr t ~world:World.Secure (rh + off_run_next) rh;
+  write_addr t ~world:World.Secure (rh + off_run_prev) rh;
+  t
+
+let capacity t = t.capacity
+let live_count t = Hashtbl.length t.pid_slot
+
+let addr_of_pid t ~pid =
+  match Hashtbl.find_opt t.pid_slot pid with
+  | Some slot -> slot_addr t slot
+  | None -> raise Not_found
+
+(* Insert [node] at the tail of the circular list anchored at [head], using
+   field offsets [next]/[prev]. *)
+let list_insert t ~world ~head ~next ~prev node =
+  let tail = read_addr t ~world (head + prev) in
+  write_addr t ~world (node + prev) tail;
+  write_addr t ~world (node + next) head;
+  write_addr t ~world (tail + next) node;
+  write_addr t ~world (head + prev) node
+
+let list_unlink t ~world ~next ~prev node =
+  let n = read_addr t ~world (node + next) in
+  let p = read_addr t ~world (node + prev) in
+  write_addr t ~world (p + next) n;
+  write_addr t ~world (n + prev) p
+
+let list_relink t ~world ~next ~prev node =
+  let n = read_addr t ~world (node + next) in
+  let p = read_addr t ~world (node + prev) in
+  write_addr t ~world (p + next) node;
+  write_addr t ~world (n + prev) node
+
+let spawn t ~pid ?(runnable = true) () =
+  if Hashtbl.mem t.pid_slot pid then
+    invalid_arg (Printf.sprintf "Proc_table.spawn: pid %d exists" pid);
+  match t.free with
+  | [] -> invalid_arg "Proc_table.spawn: table full"
+  | slot :: rest ->
+      t.free <- rest;
+      Hashtbl.replace t.pid_slot pid slot;
+      let node = slot_addr t slot in
+      let world = World.Normal in
+      write_word t ~world (node + off_pid) (Int64.of_int pid);
+      write_word t ~world (node + off_live) 1L;
+      list_insert t ~world ~head:(tasks_head t) ~next:off_tasks_next
+        ~prev:off_tasks_prev node;
+      if runnable then
+        list_insert t ~world ~head:(run_head t) ~next:off_run_next
+          ~prev:off_run_prev node
+      else begin
+        (* Park the run links pointing at the node itself so a later unlink
+           of the run list is harmless. *)
+        write_addr t ~world (node + off_run_next) node;
+        write_addr t ~world (node + off_run_prev) node
+      end
+
+let walk t ~world ~head ~next =
+  let limit = t.capacity + 2 in
+  let rec go addr acc n =
+    if addr = head || n > limit then List.rev acc
+    else
+      let pid = Int64.to_int (read_word t ~world (addr + off_pid)) in
+      go (read_addr t ~world (addr + next)) (pid :: acc) (n + 1)
+  in
+  go (read_addr t ~world (head + next)) [] 0
+
+let pids_via_tasks t ~world =
+  walk t ~world ~head:(tasks_head t) ~next:off_tasks_next
+
+let pids_via_runqueue t ~world = walk t ~world ~head:(run_head t) ~next:off_run_next
+
+let tasks_linked t ~pid =
+  List.mem pid (pids_via_tasks t ~world:World.Secure)
+
+let unlink_tasks t ~world ~pid =
+  let node = addr_of_pid t ~pid in
+  if tasks_linked t ~pid then
+    list_unlink t ~world ~next:off_tasks_next ~prev:off_tasks_prev node
+
+let relink_tasks t ~world ~pid =
+  let node = addr_of_pid t ~pid in
+  if not (tasks_linked t ~pid) then
+    list_relink t ~world ~next:off_tasks_next ~prev:off_tasks_prev node
+
+let exit_process t ~pid =
+  let node = addr_of_pid t ~pid in
+  let world = World.Normal in
+  if tasks_linked t ~pid then
+    list_unlink t ~world ~next:off_tasks_next ~prev:off_tasks_prev node;
+  if List.mem pid (pids_via_runqueue t ~world) then
+    list_unlink t ~world ~next:off_run_next ~prev:off_run_prev node;
+  write_word t ~world (node + off_live) 0L;
+  let slot = Hashtbl.find t.pid_slot pid in
+  Hashtbl.remove t.pid_slot pid;
+  t.free <- slot :: t.free

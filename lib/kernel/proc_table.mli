@@ -1,0 +1,58 @@
+(** Kernel process accounting structures (dynamic kernel data).
+
+    A model of the two linked structures a Linux kernel keeps per process:
+    the all-tasks list (the [init_task.tasks] circular doubly-linked list
+    that [ps] ultimately walks) and the run queue membership. Both live in
+    kernel {e heap} memory — physically readable by the secure world but
+    legitimately mutable, so hash-based integrity checking cannot cover
+    them; this is the dynamic-data / semantic-gap territory the paper's
+    introduction points at ([8], [14], [33], [48]).
+
+    The classic DKOM rootkit hides a process by unlinking its PCB from the
+    all-tasks list while leaving it schedulable: the process keeps running
+    but disappears from every tasks-list walk. The {!unlink_tasks} /
+    {!relink_tasks} primitives implement exactly that (the node keeps its
+    own pointers so it can splice itself back in). Cross-view detection
+    compares the two walks — see {!Satin_introspect.Dkom}. *)
+
+type t
+
+val node_size : int
+(** Bytes per PCB node (64). *)
+
+val create :
+  memory:Satin_hw.Memory.t -> base:int -> capacity:int -> t
+(** Declares a non-secure ["kernel_heap"] region holding up to [capacity]
+    PCBs (plus two sentinel nodes) and initializes empty lists. *)
+
+val capacity : t -> int
+val live_count : t -> int
+
+val spawn : t -> pid:int -> ?runnable:bool -> unit -> unit
+(** Allocate and link a PCB on both lists ([runnable] defaults true; a
+    non-runnable process sits only on the all-tasks list). Raises
+    [Invalid_argument] on duplicate pid or a full table. *)
+
+val exit_process : t -> pid:int -> unit
+(** Unlink from both lists and free the slot. Raises [Not_found]. *)
+
+val addr_of_pid : t -> pid:int -> int
+(** Physical address of the PCB. Raises [Not_found]. *)
+
+val pids_via_tasks : t -> world:Satin_hw.World.t -> int list
+(** Walk the all-tasks list through physical memory, ascending order of
+    encounter. This is what a tasks-list-based tool (or introspector) sees. *)
+
+val pids_via_runqueue : t -> world:Satin_hw.World.t -> int list
+(** Walk the run-queue list — what the scheduler actually runs. *)
+
+val unlink_tasks : t -> world:Satin_hw.World.t -> pid:int -> unit
+(** DKOM hide: splice the PCB out of the all-tasks list only. The node
+    keeps its own pointers. Idempotent. *)
+
+val relink_tasks : t -> world:Satin_hw.World.t -> pid:int -> unit
+(** Undo {!unlink_tasks} by re-splicing the node between its remembered
+    neighbours. Idempotent. *)
+
+val tasks_linked : t -> pid:int -> bool
+(** Whether the PCB is currently reachable from the all-tasks head. *)

@@ -1,0 +1,22 @@
+module Memory = Satin_hw.Memory
+
+type t = { memory : Memory.t; base : int; entries : int }
+
+let create memory layout =
+  let sym = Layout.syscall_table layout in
+  { memory; base = sym.Layout.sym_addr; entries = sym.Layout.sym_size / 8 }
+
+let entries t = t.entries
+
+let entry_addr t n =
+  if n < 0 || n >= t.entries then
+    invalid_arg (Printf.sprintf "Syscall_table: entry %d out of range" n);
+  t.base + (n * 8)
+
+let read_entry t ~world n =
+  Memory.read_int64_le t.memory ~world ~addr:(entry_addr t n)
+
+let write_entry t ~world n value =
+  Memory.write_int64_le t.memory ~world ~addr:(entry_addr t n) value
+
+let gettid_addr t = entry_addr t Layout.gettid_nr

@@ -1,0 +1,21 @@
+(** The kernel's system call table.
+
+    An array of 8-byte handler pointers living in the static kernel image
+    (so covered by integrity introspection). The paper's sample attack
+    replaces the GETTID entry with a pointer to malicious code — an 8-byte
+    modification the introspection detects iff its scan passes any of those
+    bytes while they are modified (§IV-A2). *)
+
+type t
+
+val create : Satin_hw.Memory.t -> Layout.t -> t
+
+val entries : t -> int
+val entry_addr : t -> int -> int
+(** Physical address of entry [n]. Raises [Invalid_argument] out of range. *)
+
+val read_entry : t -> world:Satin_hw.World.t -> int -> int64
+val write_entry : t -> world:Satin_hw.World.t -> int -> int64 -> unit
+
+val gettid_addr : t -> int
+(** Address of the GETTID (syscall 178) entry. *)

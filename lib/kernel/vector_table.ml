@@ -1,0 +1,32 @@
+module Memory = Satin_hw.Memory
+
+type t = { memory : Memory.t; base : int; mutable original : string option }
+
+let irq_el1_offset = 0x280
+let stub = "\xde\xad\xbe\xef\x0b\xad\xf0\x0d" (* detour branch, 8 bytes *)
+
+let create memory layout =
+  { memory; base = (Layout.vector_table layout).Layout.sym_addr; original = None }
+
+let base t = t.base
+let irq_vector_addr t = t.base + irq_el1_offset
+
+let current_bytes t ~world =
+  Bytes.to_string
+    (Memory.read_bytes t.memory ~world ~addr:(irq_vector_addr t)
+       ~len:(String.length stub))
+
+let hijack_irq t ~world =
+  if t.original = None then
+    t.original <- Some (current_bytes t ~world);
+  Memory.write_string t.memory ~world ~addr:(irq_vector_addr t) stub
+
+let restore_irq t ~world =
+  match t.original with
+  | Some bytes -> Memory.write_string t.memory ~world ~addr:(irq_vector_addr t) bytes
+  | None -> ()
+
+let irq_hijacked t =
+  match t.original with
+  | None -> false
+  | Some bytes -> current_bytes t ~world:Satin_hw.World.Secure <> bytes

@@ -1,0 +1,28 @@
+(** AArch64 exception vector table.
+
+    Sixteen 128-byte entries starting at the ["vectors"] symbol (the address
+    normally held in [VBAR_EL1]). KProber-I redirects the IRQ vector of the
+    current-EL-with-SPx group (offset 0x280) to its own code — a kernel-text
+    modification the defender can spot when it scans area 0 (§III-C1,
+    §IV-A1). *)
+
+type t
+
+val create : Satin_hw.Memory.t -> Layout.t -> t
+
+val base : t -> int
+
+val irq_el1_offset : int
+(** 0x280: IRQ, current EL with SPx. *)
+
+val irq_vector_addr : t -> int
+
+val hijack_irq : t -> world:Satin_hw.World.t -> unit
+(** Overwrites the first 8 bytes of the IRQ vector with a detour stub.
+    Idempotent. *)
+
+val restore_irq : t -> world:Satin_hw.World.t -> unit
+(** Puts the original bytes back. *)
+
+val irq_hijacked : t -> bool
+(** Whether the in-memory bytes currently differ from the pristine ones. *)

@@ -1,0 +1,52 @@
+module Memory = Satin_hw.Memory
+module World = Satin_hw.World
+
+type cell = { cell_name : string; base : int; slots : int }
+
+type t = {
+  memory : Memory.t;
+  region : Memory.region;
+  mutable next_free : int;
+  mutable cells : cell list;
+}
+
+let create ~memory ~base ~size =
+  let region =
+    Memory.add_region memory ~name:"tz_secure_ram" ~base ~size
+      ~security:Memory.Secure_region
+  in
+  { memory; region; next_free = base; cells = [] }
+
+let region t = t.region
+
+let alloc t ~name ~slots =
+  if slots <= 0 then invalid_arg "Secure_memory.alloc: slots must be positive";
+  if List.exists (fun c -> c.cell_name = name) t.cells then
+    invalid_arg (Printf.sprintf "Secure_memory.alloc: cell %s exists" name);
+  let bytes = slots * 8 in
+  let limit = t.region.Memory.base + t.region.Memory.size in
+  if t.next_free + bytes > limit then
+    invalid_arg "Secure_memory.alloc: secure region exhausted";
+  let cell = { cell_name = name; base = t.next_free; slots } in
+  t.next_free <- t.next_free + bytes;
+  t.cells <- cell :: t.cells;
+  cell
+
+let slots c = c.slots
+
+let check c i =
+  if i < 0 || i >= c.slots then
+    invalid_arg (Printf.sprintf "Secure_memory: %s[%d] out of range" c.cell_name i)
+
+let get t c i =
+  check c i;
+  Memory.read_int64_le t.memory ~world:World.Secure ~addr:(c.base + (i * 8))
+
+let set t c i value =
+  check c i;
+  Memory.write_int64_le t.memory ~world:World.Secure ~addr:(c.base + (i * 8)) value
+
+let get_time t c i = Int64.to_int (get t c i)
+let set_time t c i v = set t c i (Int64.of_int v)
+
+let used_bytes t = t.next_free - t.region.Memory.base

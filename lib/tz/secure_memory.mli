@@ -1,0 +1,35 @@
+(** Secure-world memory carve-out.
+
+    A TZASC-protected region plus a tiny allocator of named cells, each a
+    fixed-size array of 64-bit words physically stored inside the region.
+    SATIN keeps its authorized hash table, kernel-area bookkeeping, and
+    wake-up time queue here: the state is genuinely unreachable from the
+    normal world (a normal-world read raises
+    {!Satin_hw.Memory.Access_violation}), which is what makes the wake-up
+    pattern unobservable (§V-C, §V-D). *)
+
+type t
+
+type cell
+
+val create : memory:Satin_hw.Memory.t -> base:int -> size:int -> t
+(** Declares [\[base, base+size)] as a secure region named
+    ["tz_secure_ram"]. *)
+
+val region : t -> Satin_hw.Memory.region
+
+val alloc : t -> name:string -> slots:int -> cell
+(** A named array of [slots] int64 words. Raises [Invalid_argument] when the
+    region is exhausted or the name is taken. *)
+
+val slots : cell -> int
+val get : t -> cell -> int -> int64
+val set : t -> cell -> int -> int64 -> unit
+(** Cell accesses execute with secure-world privilege. Index out of range
+    raises [Invalid_argument]. *)
+
+val get_time : t -> cell -> int -> Satin_engine.Sim_time.t
+val set_time : t -> cell -> int -> Satin_engine.Sim_time.t -> unit
+(** Convenience: store simulated instants as nanosecond words. *)
+
+val used_bytes : t -> int

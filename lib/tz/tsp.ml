@@ -1,0 +1,27 @@
+module Platform = Satin_hw.Platform
+module Gic = Satin_hw.Gic
+
+type t = {
+  platform : Platform.t;
+  mutable handler : (core:int -> unit) option;
+  mutable taken : int;
+}
+
+let install platform =
+  let t = { platform; handler = None; taken = 0 } in
+  Gic.set_secure_handler platform.Platform.gic ~irq:Platform.secure_timer_irq
+    (fun ~core ->
+      t.taken <- t.taken + 1;
+      match t.handler with Some f -> f ~core | None -> ());
+  t
+
+let set_timer_handler t f =
+  match t.handler with
+  | Some _ ->
+      invalid_arg
+        "Tsp.set_timer_handler: a secure-timer service is already installed"
+  | None -> t.handler <- Some f
+
+let clear_timer_handler t = t.handler <- None
+let timer_interrupts_taken t = t.taken
+let platform t = t.platform

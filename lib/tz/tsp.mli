@@ -1,0 +1,25 @@
+(** Test Secure Payload (S-EL1 secure OS model).
+
+    The TSP is the thin secure-world dispatcher ARM Trusted Firmware ships
+    for testing; the paper modifies its secure-timer interrupt handler to run
+    the introspection (§IV-A). Here it binds the platform's secure timer
+    interrupt to a replaceable handler. The handler runs with secure
+    privilege on the interrupted core; it is expected to drive
+    {!Satin_hw.Monitor.enter_secure} for any long-running work. *)
+
+type t
+
+val install : Satin_hw.Platform.t -> t
+(** Claims the secure timer interrupt. Only one TSP per platform. *)
+
+val set_timer_handler : t -> (core:int -> unit) -> unit
+(** Installs the secure-timer interrupt handler. Raises [Invalid_argument]
+    if one is already installed — two defenses silently fighting over the
+    timer would disable each other; call {!clear_timer_handler} first (the
+    defenses' [stop] functions do). *)
+
+val clear_timer_handler : t -> unit
+
+val timer_interrupts_taken : t -> int
+
+val platform : t -> Satin_hw.Platform.t

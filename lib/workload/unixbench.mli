@@ -1,0 +1,71 @@
+(** UnixBench workload models (Figure 7's benchmark programs).
+
+    Each program is modelled as a task consuming CPU in small work units and
+    counting completions; its score is units per second. Introspection
+    activity degrades throughput through three channels, matching the
+    paper's observations (§VI-B2):
+
+    - {e core theft}: a work unit in flight on a core taken by the secure
+      world simply stalls until the core returns;
+    - {e memory contention}: while any core's secure world streams the
+      kernel image through the hash, memory-bound programs' work units
+      dilate in proportion to their [mem_sensitivity];
+    - {e cache refill}: for a window after a core returns from the
+      secure world, units on that core dilate (the introspection evicted
+      the program's working set) — again scaled by [mem_sensitivity].
+
+    The two most memory-traffic-bound programs, file copy 256B and context
+    switching, have the highest sensitivities; they are the two the paper
+    singles out (3.556% and 3.912% degradation). *)
+
+type program = {
+  prog_name : string;
+  unit_cpu : Satin_engine.Sim_time.t; (** CPU per work unit, unperturbed *)
+  mem_sensitivity : float; (** 0 = pure CPU, 1 = fully memory-bound *)
+  refill_sensitivity : float;
+      (** how much throughput rides on per-core warm state (caches, buffer
+          cache, scheduler hotness) that a secure-world pass evicts *)
+}
+
+val programs : program list
+(** The UnixBench suite modelled: dhrystone2, whetstone, execl, file copy
+    256B/1024B/4096B, pipe throughput, context switching, process creation,
+    shell scripts (1), shell scripts (8), syscall overhead. *)
+
+val find_program : string -> program
+(** Raises [Not_found]. *)
+
+(** A running benchmark instance. *)
+type instance
+
+val launch :
+  Satin_kernel.Kernel.t ->
+  program ->
+  ?affinity:int ->
+  copies:int ->
+  unit ->
+  instance
+(** Spawn [copies] tasks of the program (unpinned unless [affinity]).
+    Counting starts immediately. *)
+
+val completed_units : instance -> int
+
+val score : instance -> at:Satin_engine.Sim_time.t -> float
+(** Units per second of simulated time since launch, evaluated at [at]. *)
+
+val stop : instance -> unit
+
+(** Contention parameters (exposed for calibration and ablation). *)
+module Tuning : sig
+  val contention_factor : float ref
+  (** Work-unit dilation per squared [mem_sensitivity] while a scan is
+      streaming memory (default 3.5). *)
+
+  val cache_refill_window : Satin_engine.Sim_time.t ref
+  (** How long after a secure-world exit a core's units stay dilated
+      (default 220 ms). *)
+
+  val cache_refill_factor : float ref
+  (** Dilation per unit of [refill_sensitivity] inside the refill window
+      (default 9.0). *)
+end

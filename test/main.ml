@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "satin"
+    [
+      ("sim_time", Test_sim_time.suite);
+      ("prng", Test_prng.suite);
+      ("event_queue", Test_event_queue.suite);
+      ("engine", Test_engine.suite);
+      ("stats", Test_stats.suite);
+      ("trace", Test_trace.suite);
+      ("memory", Test_memory.suite);
+      ("cycle_model", Test_cycle_model.suite);
+      ("hw_platform", Test_hw_platform.suite);
+      ("layout", Test_layout.suite);
+      ("sched", Test_sched.suite);
+      ("timer_irq", Test_timer_irq.suite);
+      ("kernel_tables", Test_kernel_tables.suite);
+      ("tz", Test_tz.suite);
+      ("hash", Test_hash.suite);
+      ("area", Test_area.suite);
+      ("checker", Test_checker.suite);
+      ("defenses", Test_defenses.suite);
+      ("attack", Test_attack.suite);
+      ("workload", Test_workload.suite);
+      ("race_report", Test_race.suite);
+      ("integration", Test_integration.suite);
+      ("alarm", Test_alarm.suite);
+      ("failure_injection", Test_failure_injection.suite);
+      ("dkom", Test_dkom.suite);
+      ("cache_prober", Test_cache_prober.suite);
+      ("sync_guard", Test_sync_guard.suite);
+      ("merkle", Test_merkle.suite);
+      ("experiments_smoke", Test_experiments_smoke.suite);
+      ("gantt", Test_gantt.suite);
+    ]

@@ -1,0 +1,103 @@
+open Satin_introspect
+open Satin_kernel
+
+let layout = Layout.paper_layout ()
+
+let test_canonical_matches_paper () =
+  let areas = Area.of_layout layout in
+  Alcotest.(check int) "19 areas" 19 (List.length areas);
+  Alcotest.(check int) "total" 11_916_240 (Area.total_size areas);
+  Alcotest.(check int) "max" 876_616 (Area.max_size areas);
+  Alcotest.(check int) "min" 431_360 (Area.min_size areas);
+  (* Contiguous, indexed in order. *)
+  let _ =
+    List.fold_left
+      (fun (i, addr) a ->
+        Alcotest.(check int) "index" i a.Area.index;
+        Alcotest.(check int) "contiguous" addr a.Area.base;
+        (i + 1, a.Area.base + a.Area.size))
+      (0, Layout.base layout) areas
+  in
+  ()
+
+let test_areas_respect_symbol_boundaries () =
+  let areas = Area.of_layout layout in
+  let boundaries =
+    List.map (fun s -> s.Layout.sym_addr) (Layout.symbols layout)
+  in
+  List.iter
+    (fun a ->
+      if not (List.mem a.Area.base boundaries) then
+        Alcotest.failf "area %d does not start on a symbol" a.Area.index)
+    areas
+
+let test_size_bound_matches_paper () =
+  let bound =
+    Area.size_bound ~cycle:Satin_hw.Cycle_model.default
+      ~checker_core:Satin_hw.Cycle_model.A57 ~ts_1byte:`Fastest
+      ~tns_threshold:1.8e-3
+  in
+  (* (2e-4 + 1.8e-3 + 6.13e-3 - 3.6e-6) / 6.67e-9 = 1,218,350.8 *)
+  Alcotest.(check bool) "within a byte of the paper's bound" true
+    (abs (bound - 1_218_351) <= 1);
+  let areas = Area.of_layout layout in
+  List.iter
+    (fun a ->
+      if a.Area.size >= bound then
+        Alcotest.failf "area %d exceeds the race bound" a.Area.index)
+    areas
+
+let test_partition_respects_bound () =
+  let bound = 1_218_351 in
+  let areas = Area.partition layout ~bound in
+  Alcotest.(check int) "greedy total preserved" (Layout.total_size layout)
+    (Area.total_size areas);
+  List.iter
+    (fun a ->
+      if a.Area.size > bound then Alcotest.failf "greedy area %d too big" a.Area.index)
+    areas;
+  (* The greedy partition packs tighter than the canonical one. *)
+  Alcotest.(check bool) "fewer areas than canonical" true (List.length areas <= 19)
+
+let test_partition_rejects_oversized_symbol () =
+  try
+    ignore (Area.partition layout ~bound:1024);
+    Alcotest.fail "bound below symbol size accepted"
+  with Invalid_argument _ -> ()
+
+let test_find_containing () =
+  let areas = Area.of_layout layout in
+  let tbl = Layout.syscall_table layout in
+  let a = Area.find_containing areas ~addr:tbl.Layout.sym_addr in
+  Alcotest.(check int) "syscall table in area 14" 14 a.Area.index;
+  try
+    ignore (Area.find_containing areas ~addr:0);
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let prop_partition_sound =
+  QCheck.Test.make ~name:"greedy partition is a tiling under any bound" ~count:25
+    QCheck.(int_range 900_000 3_000_000)
+    (fun bound ->
+      let areas = Area.partition layout ~bound in
+      let total_ok = Area.total_size areas = Layout.total_size layout in
+      let sizes_ok = List.for_all (fun a -> a.Area.size <= bound && a.Area.size > 0) areas in
+      let contiguous =
+        let rec go addr = function
+          | [] -> addr = Layout.base layout + Layout.total_size layout
+          | a :: rest -> a.Area.base = addr && go (addr + a.Area.size) rest
+        in
+        go (Layout.base layout) areas
+      in
+      total_ok && sizes_ok && contiguous)
+
+let suite =
+  [
+    Alcotest.test_case "canonical matches paper" `Quick test_canonical_matches_paper;
+    Alcotest.test_case "symbol boundaries" `Quick test_areas_respect_symbol_boundaries;
+    Alcotest.test_case "size bound (Eq. 2)" `Quick test_size_bound_matches_paper;
+    Alcotest.test_case "greedy partition bound" `Quick test_partition_respects_bound;
+    Alcotest.test_case "oversized symbol rejected" `Quick test_partition_rejects_oversized_symbol;
+    Alcotest.test_case "find containing" `Quick test_find_containing;
+    QCheck_alcotest.to_alcotest prop_partition_sound;
+  ]

@@ -1,0 +1,369 @@
+(* Board, probers, rootkit, and the TZ-Evader orchestration. *)
+
+open Satin_attack
+open Satin_engine
+module Scenario = Satin.Scenario
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module World = Satin_hw.World
+module Memory = Satin_hw.Memory
+module Kernel = Satin_kernel.Kernel
+
+let run s d = Scenario.run_for s d
+
+(* ---- board ---- *)
+
+let test_board_reports () =
+  let s = Scenario.create ~seed:41 () in
+  let b = Board.create ~platform:s.Scenario.platform ~period:(Sim_time.us 200) in
+  run s (Sim_time.ms 1);
+  Board.report b ~core:2;
+  Alcotest.(check int) "stored now" (Sim_time.ms 1) (Board.last_report b ~core:2);
+  Alcotest.(check int) "count" 1 (Board.reports_count b ~core:2);
+  Alcotest.(check int) "other core untouched" 0 (Board.reports_count b ~core:3)
+
+let test_board_lateness_grows_with_silence () =
+  let s = Scenario.create ~seed:42 () in
+  let period = Sim_time.us 200 in
+  let b = Board.create ~platform:s.Scenario.platform ~period in
+  Board.report b ~core:1;
+  run s period;
+  let l1 = Board.lateness b ~reader:0 ~target:1 ~staleness_scale:1.0 in
+  run s (Sim_time.ms 2);
+  let l2 = Board.lateness b ~reader:0 ~target:1 ~staleness_scale:1.0 in
+  Alcotest.(check bool) "grows" true (l2 > l1 +. 1.5e-3);
+  Alcotest.(check bool) "reflects silence" true (l2 > 1.8e-3)
+
+let test_board_staleness_cached_per_window () =
+  let s = Scenario.create ~seed:43 () in
+  let b = Board.create ~platform:s.Scenario.platform ~period:(Sim_time.s 8) in
+  Board.report b ~core:1;
+  let a1 = Board.observed_age b ~reader:0 ~target:1 ~staleness_scale:1.0 in
+  let a2 = Board.observed_age b ~reader:2 ~target:1 ~staleness_scale:1.0 in
+  Alcotest.(check (float 1e-12)) "same draw within a round" a1 a2
+
+(* ---- KProber ---- *)
+
+let deploy_prober ?(period = Sim_time.us 200) ?(reporter = Kprober.Rt_reporter) s =
+  Kprober.deploy s.Scenario.kernel
+    { Kprober.default_config with period; reporter }
+
+let test_kprober_quiet_no_detection () =
+  let s = Scenario.create ~seed:44 () in
+  let p = deploy_prober s in
+  run s (Sim_time.s 2);
+  Alcotest.(check (list pass)) "no detections" []
+    (List.map (fun _ -> ()) (Kprober.detections p));
+  Alcotest.(check bool) "nothing suspected" false (Kprober.suspected_any p);
+  (* All cores reported thousands of times. *)
+  for core = 0 to 5 do
+    Alcotest.(check bool) "reporting" true (Board.reports_count (Kprober.board p) ~core > 5000)
+  done
+
+let test_kprober_detects_secure_entry () =
+  let s = Scenario.create ~seed:45 () in
+  let p = deploy_prober s in
+  run s (Sim_time.ms 10);
+  let cpu = Platform.core s.Scenario.platform 3 in
+  Cpu.set_world cpu World.Secure;
+  let entry = Scenario.now s in
+  run s (Sim_time.ms 10);
+  (match Kprober.detections p with
+  | [ d ] ->
+      Alcotest.(check int) "right core" 3 d.Kprober.det_core;
+      let delay = Sim_time.to_sec_f (Sim_time.diff d.Kprober.det_time entry) in
+      (* Tns_delay ≈ Tns_sched + Tns_threshold = 2e-4 + 1.8e-3 *)
+      if delay < 1.8e-3 || delay > 3.5e-3 then
+        Alcotest.failf "detection delay out of model: %g" delay
+  | l -> Alcotest.failf "expected 1 detection, got %d" (List.length l));
+  Alcotest.(check bool) "suspected" true (Kprober.suspected p ~core:3);
+  (* Release the core: the prober clears. *)
+  Cpu.set_world cpu World.Normal;
+  run s (Sim_time.ms 10);
+  Alcotest.(check bool) "cleared" false (Kprober.suspected p ~core:3)
+
+let test_kprober_clear_hook () =
+  let s = Scenario.create ~seed:46 () in
+  let p = deploy_prober s in
+  let cleared = ref [] in
+  Kprober.on_clear p (fun ~core -> cleared := core :: !cleared);
+  run s (Sim_time.ms 10);
+  let cpu = Platform.core s.Scenario.platform 1 in
+  Cpu.set_world cpu World.Secure;
+  run s (Sim_time.ms 10);
+  Cpu.set_world cpu World.Normal;
+  run s (Sim_time.ms 10);
+  Alcotest.(check (list int)) "clear fired once" [ 1 ] !cleared
+
+let test_kprober_tick_reporter_leaves_trace () =
+  let s = Scenario.create ~seed:47 () in
+  let vt = s.Scenario.kernel.Kernel.vectors in
+  Alcotest.(check bool) "pristine before" false
+    (Satin_kernel.Vector_table.irq_hijacked vt);
+  let p = deploy_prober ~period:(Sim_time.ms 1) ~reporter:Kprober.Tick_reporter s in
+  (* KProber-I's deployment dirties the exception vector — the extra
+     attacking trace §III-C1 warns about. *)
+  Alcotest.(check bool) "vector hijacked" true
+    (Satin_kernel.Vector_table.irq_hijacked vt);
+  run s (Sim_time.ms 100);
+  (* Reports flow from the tick path at ≥ HZ. *)
+  for core = 0 to 5 do
+    let n = Board.reports_count (Kprober.board p) ~core in
+    if n < 20 then Alcotest.failf "core %d only %d tick reports" core n
+  done;
+  Kprober.retire p;
+  Alcotest.(check bool) "trace cleaned on retire" false
+    (Satin_kernel.Vector_table.irq_hijacked vt)
+
+let test_kprober_tick_reporter_detects () =
+  let s = Scenario.create ~seed:48 () in
+  let p = deploy_prober ~period:(Sim_time.ms 1) ~reporter:Kprober.Tick_reporter s in
+  run s (Sim_time.ms 50);
+  Cpu.set_world (Platform.core s.Scenario.platform 2) World.Secure;
+  run s (Sim_time.ms 30);
+  Alcotest.(check bool) "detected via missed ticks" true (Kprober.suspected p ~core:2);
+  ignore p
+
+let test_kprober_retire_stops_probing () =
+  let s = Scenario.create ~seed:49 () in
+  let p = deploy_prober s in
+  run s (Sim_time.ms 5);
+  Kprober.retire p;
+  run s (Sim_time.ms 5);
+  let before = Board.reports_count (Kprober.board p) ~core:0 in
+  run s (Sim_time.ms 20);
+  Alcotest.(check int) "no reports after retire" before
+    (Board.reports_count (Kprober.board p) ~core:0)
+
+
+let test_kprober1_retire_stops_spinners () =
+  let s = Scenario.create ~seed:59 () in
+  let p = deploy_prober ~period:(Sim_time.ms 1) ~reporter:Kprober.Tick_reporter s in
+  run s (Sim_time.ms 50);
+  Kprober.retire p;
+  run s (Sim_time.ms 50);
+  (* With the spinners exited and probes stopped, every core goes NO_HZ
+     idle: the spinner load is gone. *)
+  for core = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "core %d idle after retire" core)
+      true
+      (Satin_kernel.Sched.current s.Scenario.kernel.Kernel.sched ~core = None)
+  done
+
+(* ---- user-level prober ---- *)
+
+let test_uprober_detects_with_coarser_threshold () =
+  let s = Scenario.create ~seed:50 () in
+  let p = Uprober.deploy s.Scenario.kernel Uprober.default_config in
+  (* One full quiet round: no false positives. *)
+  run s (Sim_time.s 9);
+  Alcotest.(check int) "quiet" 0 (List.length (Uprober.detections p));
+  (* Take a core mid-burst of the next round and hold it. *)
+  run s (Sim_time.s 7 ) (* now at 16 s *);
+  run s (Sim_time.ms 20) (* 20 ms into the 16 s round's burst *);
+  Cpu.set_world (Platform.core s.Scenario.platform 4) World.Secure;
+  run s (Sim_time.ms 60);
+  Alcotest.(check bool) "detected mid-burst" true (Uprober.suspected p ~core:4);
+  Cpu.set_world (Platform.core s.Scenario.platform 4) World.Normal;
+  Uprober.retire p
+
+let test_uprober_flags_core_missing_at_round_start () =
+  let s = Scenario.create ~seed:58 () in
+  let p = Uprober.deploy s.Scenario.kernel Uprober.default_config in
+  run s (Sim_time.s 9);
+  (* Core already secure when the 16 s round begins. *)
+  run s (Sim_time.s 6);
+  Cpu.set_world (Platform.core s.Scenario.platform 2) World.Secure;
+  run s (Sim_time.s 1);
+  run s (Sim_time.ms 100);
+  Alcotest.(check bool) "flagged after warmup" true (Uprober.suspected p ~core:2);
+  Cpu.set_world (Platform.core s.Scenario.platform 2) World.Normal;
+  Uprober.retire p
+
+(* ---- rootkit ---- *)
+
+let test_rootkit_arm_hide_rearm_cycle () =
+  let s = Scenario.create ~seed:51 () in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Alcotest.(check bool) "dormant clean" false (Rootkit.hijacked_now rk);
+  Rootkit.arm rk;
+  Alcotest.(check bool) "armed dirty" true (Rootkit.hijacked_now rk);
+  Alcotest.(check bool) "is_armed" true (Rootkit.is_armed rk);
+  Rootkit.start_hide rk ();
+  Alcotest.(check bool) "hiding state" true (Rootkit.state rk = Rootkit.Hiding);
+  run s (Sim_time.ms 20);
+  Alcotest.(check bool) "hidden clean" false (Rootkit.hijacked_now rk);
+  Alcotest.(check int) "one hide" 1 (Rootkit.hides rk);
+  (match Rootkit.last_hide_duration rk with
+  | Some d ->
+      let x = Sim_time.to_sec_f d in
+      (* A53 recovery calibration: 5.42–6.13 ms *)
+      if x < 5.4e-3 || x > 6.2e-3 then Alcotest.failf "hide duration %g" x
+  | None -> Alcotest.fail "no hide duration");
+  Rootkit.start_rearm rk ();
+  run s (Sim_time.ms 20);
+  Alcotest.(check bool) "re-armed dirty" true (Rootkit.hijacked_now rk);
+  Alcotest.(check int) "one rearm" 1 (Rootkit.rearms rk)
+
+let test_rootkit_progressive_restore () =
+  let s = Scenario.create ~seed:52 () in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Rootkit.arm rk;
+  let addr = Rootkit.target_addr rk in
+  let read_count_dirty original =
+    let live =
+      Memory.read_bytes s.Scenario.platform.Platform.memory ~world:World.Secure
+        ~addr ~len:8
+    in
+    let d = ref 0 in
+    Bytes.iteri (fun i c -> if c <> original.[i] then incr d) live;
+    !d
+  in
+  let original =
+    (* after arm, the original is what hide restores to; read from the
+       rootkit's own view by hiding fully once. *)
+    Bytes.to_string
+      (Memory.read_bytes s.Scenario.platform.Platform.memory ~world:World.Secure
+         ~addr ~len:8)
+  in
+  ignore original;
+  Rootkit.start_hide rk ();
+  (* Mid-hide: some bytes restored, some still evil. *)
+  run s (Sim_time.ms 3);
+  let evil = "\x41\x41\x41\x41\xef\xbe\xad\xde" in
+  ignore evil;
+  let still_dirty = read_count_dirty (
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 0xdeadbeef41414141L;
+    Bytes.to_string b) in
+  (* [still_dirty] counts bytes differing from the evil value = restored. *)
+  Alcotest.(check bool) "partially restored at 3ms" true (still_dirty >= 1 && still_dirty <= 7);
+  run s (Sim_time.ms 10);
+  Alcotest.(check bool) "fully clean" false (Rootkit.hijacked_now rk)
+
+let test_rootkit_state_machine_guards () =
+  let s = Scenario.create ~seed:53 () in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  (* hide from dormant is a no-op *)
+  Rootkit.start_hide rk ();
+  Alcotest.(check bool) "still dormant" true (Rootkit.state rk = Rootkit.Dormant);
+  Rootkit.arm rk;
+  (try
+     Rootkit.arm rk;
+     Alcotest.fail "double arm accepted"
+   with Invalid_argument _ -> ());
+  (* rearm while armed is a no-op *)
+  Rootkit.start_rearm rk ();
+  Alcotest.(check bool) "still armed" true (Rootkit.state rk = Rootkit.Armed);
+  (* double hide: second is a no-op *)
+  Rootkit.start_hide rk ();
+  Rootkit.start_hide rk ();
+  run s (Sim_time.ms 20);
+  Alcotest.(check int) "one hide only" 1 (Rootkit.hides rk)
+
+let test_rootkit_uptime_accounting () =
+  let s = Scenario.create ~seed:54 () in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:4 () in
+  Rootkit.arm rk;
+  run s (Sim_time.ms 100);
+  Rootkit.start_hide rk ();
+  run s (Sim_time.ms 100);
+  let up = Sim_time.to_sec_f (Rootkit.attack_uptime rk) in
+  (* armed 100ms + ~5ms of hiding counted until the last byte clears *)
+  if up < 0.100 || up > 0.112 then Alcotest.failf "uptime %g" up;
+  run s (Sim_time.ms 100);
+  Alcotest.(check (float 1e-3)) "uptime frozen while hidden" up
+    (Sim_time.to_sec_f (Rootkit.attack_uptime rk))
+
+let test_rootkit_a57_faster_cleanup () =
+  let s = Scenario.create ~seed:55 () in
+  let hide_on core =
+    let rk = Rootkit.create ~target_addr:(6 * 1024 * 1024 + (core * 64))
+        s.Scenario.kernel ~cleanup_core:core ()
+    in
+    Rootkit.arm rk;
+    Rootkit.start_hide rk ();
+    run s (Sim_time.ms 20);
+    match Rootkit.last_hide_duration rk with
+    | Some d -> Sim_time.to_sec_f d
+    | None -> Alcotest.fail "hide incomplete"
+  in
+  let a53 = hide_on 0 and a57 = hide_on 4 in
+  Alcotest.(check bool) "A57 cleans faster" true (a57 < a53)
+
+(* ---- evader ---- *)
+
+let test_evader_reacts_and_recovers () =
+  let s = Scenario.create ~seed:56 () in
+  let ev =
+    Evader.deploy s.Scenario.kernel
+      { Evader.default_config with
+        prober = { Kprober.default_config with period = Sim_time.us 200 } }
+  in
+  Evader.start ev;
+  run s (Sim_time.ms 50);
+  Alcotest.(check bool) "armed while quiet" true (Rootkit.is_armed (Evader.rootkit ev));
+  (* Fake a defender entering the secure world on core 5 for 7 ms. *)
+  let cpu = Platform.core s.Scenario.platform 5 in
+  Cpu.set_world cpu World.Secure;
+  run s (Sim_time.ms 7);
+  Cpu.set_world cpu World.Normal;
+  run s (Sim_time.ms 30);
+  Alcotest.(check int) "one evasion" 1 (Evader.evasions ev);
+  Alcotest.(check bool) "re-armed after all-clear" true
+    (Rootkit.is_armed (Evader.rootkit ev));
+  (match Evader.hide_reaction_times ev with
+  | [ r ] ->
+      (* entry -> hidden ≈ Tns_delay + Tns_recover ≈ 8e-3 *)
+      if r < 6e-3 || r > 11e-3 then Alcotest.failf "reaction %g" r
+  | l -> Alcotest.failf "expected 1 reaction, got %d" (List.length l));
+  Evader.stop ev
+
+let test_evader_does_not_rearm_while_suspected () =
+  let s = Scenario.create ~seed:57 () in
+  let ev =
+    Evader.deploy s.Scenario.kernel
+      { Evader.default_config with
+        prober = { Kprober.default_config with period = Sim_time.us 200 } }
+  in
+  Evader.start ev;
+  run s (Sim_time.ms 20);
+  let cpu = Platform.core s.Scenario.platform 2 in
+  Cpu.set_world cpu World.Secure;
+  (* Long introspection: the evader must stay hidden for its whole span. *)
+  run s (Sim_time.ms 100);
+  Alcotest.(check bool) "hidden while defender active" true
+    (Rootkit.state (Evader.rootkit ev) = Rootkit.Hidden);
+  Alcotest.(check bool) "hijack absent" false (Rootkit.hijacked_now (Evader.rootkit ev));
+  Cpu.set_world cpu World.Normal;
+  run s (Sim_time.ms 30);
+  Alcotest.(check bool) "re-armed after exit" true (Rootkit.is_armed (Evader.rootkit ev));
+  Evader.stop ev
+
+let suite =
+  [
+    Alcotest.test_case "board reports" `Quick test_board_reports;
+    Alcotest.test_case "board lateness grows" `Quick test_board_lateness_grows_with_silence;
+    Alcotest.test_case "board staleness cached" `Quick test_board_staleness_cached_per_window;
+    Alcotest.test_case "kprober quiet" `Quick test_kprober_quiet_no_detection;
+    Alcotest.test_case "kprober detects secure entry" `Quick test_kprober_detects_secure_entry;
+    Alcotest.test_case "kprober clear hook" `Quick test_kprober_clear_hook;
+    Alcotest.test_case "kprober-I leaves vector trace" `Quick
+      test_kprober_tick_reporter_leaves_trace;
+    Alcotest.test_case "kprober-I detects" `Quick test_kprober_tick_reporter_detects;
+    Alcotest.test_case "kprober retire" `Quick test_kprober_retire_stops_probing;
+    Alcotest.test_case "kprober-I retire stops spinners" `Quick
+      test_kprober1_retire_stops_spinners;
+    Alcotest.test_case "uprober detects" `Quick test_uprober_detects_with_coarser_threshold;
+    Alcotest.test_case "uprober flags missing at round start" `Quick
+      test_uprober_flags_core_missing_at_round_start;
+    Alcotest.test_case "rootkit cycle" `Quick test_rootkit_arm_hide_rearm_cycle;
+    Alcotest.test_case "rootkit progressive restore" `Quick test_rootkit_progressive_restore;
+    Alcotest.test_case "rootkit state guards" `Quick test_rootkit_state_machine_guards;
+    Alcotest.test_case "rootkit uptime" `Quick test_rootkit_uptime_accounting;
+    Alcotest.test_case "rootkit A57 faster" `Quick test_rootkit_a57_faster_cleanup;
+    Alcotest.test_case "evader reacts and recovers" `Quick test_evader_reacts_and_recovers;
+    Alcotest.test_case "evader stays hidden while watched" `Quick
+      test_evader_does_not_rearm_while_suspected;
+  ]

@@ -1,0 +1,229 @@
+(* Baseline (PKM-style) and SATIN defense drivers. *)
+
+module Scenario = Satin.Scenario
+open Satin_introspect
+open Satin_engine
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+
+let run s d = Scenario.run_for s d
+
+let test_baseline_fixed_period_rounds () =
+  let s = Scenario.create ~seed:21 () in
+  let b =
+    Scenario.install_baseline s
+      { Baseline.timing = Baseline.Fixed_period (Sim_time.s 8);
+        core_choice = Baseline.Fixed_core 0 }
+  in
+  run s (Sim_time.s 41);
+  Baseline.stop b;
+  Alcotest.(check int) "five rounds in 41s at 8s" 5 (Baseline.rounds_count b);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "fixed core" 0 r.Round.core;
+      Alcotest.(check bool) "clean kernel" false (Round.detected r);
+      Alcotest.(check int) "full image" 11_916_240 r.Round.len)
+    (Baseline.rounds b)
+
+let test_baseline_full_scan_duration () =
+  let s = Scenario.create ~seed:22 () in
+  let b =
+    Scenario.install_baseline s
+      { Baseline.timing = Baseline.Fixed_period (Sim_time.s 8);
+        core_choice = Baseline.Fixed_core 0 }
+  in
+  run s (Sim_time.s 9);
+  Baseline.stop b;
+  match Baseline.rounds b with
+  | [ r ] ->
+      (* ~11.9 MB at ~1.07e-8 s/B on the A53: ≈ 0.128 s, the paper's
+         8.04e-2-style full-kernel check magnitude. *)
+      let d = Sim_time.to_sec_f r.Round.duration in
+      if d < 0.10 || d > 0.15 then Alcotest.failf "full scan duration: %g" d
+  | l -> Alcotest.failf "expected 1 round, got %d" (List.length l)
+
+let test_baseline_random_core_spreads () =
+  let s = Scenario.create ~seed:23 () in
+  let b =
+    Scenario.install_baseline s
+      { Baseline.timing = Baseline.Random_period (Sim_time.s 4);
+        core_choice = Baseline.Random_core }
+  in
+  run s (Sim_time.s 120);
+  Baseline.stop b;
+  let cores = List.sort_uniq compare (List.map (fun r -> r.Round.core) (Baseline.rounds b)) in
+  Alcotest.(check bool) "several cores used" true (List.length cores >= 3)
+
+let test_baseline_detects_static_tamper () =
+  let s = Scenario.create ~seed:24 () in
+  let b =
+    Scenario.install_baseline s
+      { Baseline.timing = Baseline.Fixed_period (Sim_time.s 2);
+        core_choice = Baseline.Fixed_core 4 }
+  in
+  (* A rootkit with no evasion logic: persistent modification. *)
+  let rk = Satin_attack.Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Satin_attack.Rootkit.arm rk;
+  run s (Sim_time.s 7);
+  Baseline.stop b;
+  Alcotest.(check int) "every round detects" (Baseline.rounds_count b)
+    (Baseline.detections b);
+  Alcotest.(check bool) "some rounds happened" true (Baseline.rounds_count b >= 2)
+
+let satin_config ?(t_goal = Sim_time.s 19) () =
+  { Satin.default_config with t_goal }
+
+(* A SATIN campaign long enough for two full passes with tp = 1 s. *)
+let test_satin_covers_all_areas () =
+  let s = Scenario.create ~seed:25 () in
+  let satin = Scenario.install_satin s ~config:(satin_config ()) () in
+  Alcotest.(check int) "tp = t_goal/m" (Sim_time.s 19 / 19) (Satin.tp satin);
+  run s (Sim_time.s 45);
+  Satin.stop satin;
+  let rounds = Satin.rounds satin in
+  Alcotest.(check bool) "at least two passes" true (Satin.full_passes satin >= 2);
+  (* Within each pass of 19 rounds, every area appears exactly once. *)
+  let rec passes l =
+    if List.length l < 19 then ()
+    else begin
+      let pass = List.filteri (fun i _ -> i < 19) l in
+      let areas = List.sort compare (List.map (fun r -> r.Round.area_index) pass) in
+      Alcotest.(check (list int)) "pass covers all areas" (List.init 19 Fun.id) areas;
+      passes (List.filteri (fun i _ -> i >= 19) l)
+    end
+  in
+  passes rounds
+
+let test_satin_round_cadence_randomized () =
+  let s = Scenario.create ~seed:26 () in
+  let satin = Scenario.install_satin s ~config:(satin_config ()) () in
+  run s (Sim_time.s 40);
+  Satin.stop satin;
+  let starts = List.map (fun r -> Sim_time.to_sec_f r.Round.started) (Satin.rounds satin) in
+  let gaps =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (b -. a) :: go rest
+      | _ -> []
+    in
+    go starts
+  in
+  Alcotest.(check bool) "enough rounds" true (List.length gaps > 20);
+  let tp = 1.0 in
+  List.iter
+    (fun g ->
+      if g < -0.01 || g > (2.0 *. tp) +. 0.6 then Alcotest.failf "gap out of [0,2tp]: %g" g)
+    gaps;
+  (* Randomization: gaps are not all equal. *)
+  let distinct = List.sort_uniq (fun a b -> compare (Float.round (a *. 100.)) (Float.round (b *. 100.))) gaps in
+  Alcotest.(check bool) "gaps vary" true (List.length distinct > 5)
+
+let test_satin_uses_all_cores_randomly () =
+  let s = Scenario.create ~seed:27 () in
+  let satin = Scenario.install_satin s ~config:(satin_config ()) () in
+  run s (Sim_time.s 40);
+  Satin.stop satin;
+  let cores = List.map (fun r -> r.Round.core) (Satin.rounds satin) in
+  let distinct = List.sort_uniq compare cores in
+  Alcotest.(check (list int)) "all six cores serve rounds" [ 0; 1; 2; 3; 4; 5 ] distinct
+
+let test_satin_ablation_fixed_core () =
+  let s = Scenario.create ~seed:28 () in
+  let satin =
+    Scenario.install_satin s
+      ~config:{ (satin_config ()) with Satin.randomize_core = false } ()
+  in
+  run s (Sim_time.s 30);
+  Satin.stop satin;
+  let cores = List.sort_uniq compare (List.map (fun r -> r.Round.core) (Satin.rounds satin)) in
+  Alcotest.(check (list int)) "only core 0" [ 0 ] cores
+
+let test_satin_ablation_in_order_areas () =
+  let s = Scenario.create ~seed:29 () in
+  let satin =
+    Scenario.install_satin s
+      ~config:{ (satin_config ()) with Satin.randomize_area = false } ()
+  in
+  run s (Sim_time.s 25);
+  Satin.stop satin;
+  let areas = List.map (fun r -> r.Round.area_index) (Satin.rounds satin) in
+  List.iteri
+    (fun i a -> Alcotest.(check int) "address order" (i mod 19) a)
+    areas
+
+let test_satin_ablation_fixed_period () =
+  let s = Scenario.create ~seed:30 () in
+  let satin =
+    Scenario.install_satin s
+      ~config:{ (satin_config ()) with Satin.randomize_period = false } ()
+  in
+  run s (Sim_time.s 30);
+  Satin.stop satin;
+  let starts = List.map (fun r -> Sim_time.to_sec_f r.Round.started) (Satin.rounds satin) in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  List.iter
+    (fun g -> if Float.abs (g -. 1.0) > 0.05 then Alcotest.failf "cadence not fixed: %g" g)
+    (gaps starts)
+
+let test_satin_detects_persistent_rootkit () =
+  let s = Scenario.create ~seed:31 () in
+  let satin = Scenario.install_satin s ~config:(satin_config ()) () in
+  let rk = Satin_attack.Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Satin_attack.Rootkit.arm rk;
+  run s (Sim_time.s 45);
+  Satin.stop satin;
+  let area14 =
+    List.filter (fun r -> r.Round.area_index = 14) (Satin.rounds satin)
+  in
+  Alcotest.(check bool) "area 14 checked" true (List.length area14 >= 2);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "every area-14 check detects" true (Round.detected r))
+    area14;
+  Alcotest.(check int) "alarms recorded" (List.length area14)
+    (List.length (Satin.alarms satin));
+  (* No false alarms on clean areas. *)
+  Alcotest.(check int) "only area 14 alarms" (Satin.detections satin)
+    (List.length area14)
+
+let test_satin_non_preemptible_round () =
+  (* While a SATIN round runs, the serving core's tick pends: the integrity
+     check cannot be interrupted by the normal world (SCR_EL3.IRQ = 0). *)
+  let s = Scenario.create ~seed:32 () in
+  ignore (Satin_kernel.Kernel.spawn_spinner s.Scenario.kernel ~core:0);
+  let satin =
+    Scenario.install_satin s
+      ~config:{ (satin_config ()) with Satin.randomize_core = false } ()
+  in
+  let ticks_during_secure = ref 0 in
+  ignore
+    (Satin_kernel.Timer_irq.add_hook s.Scenario.kernel.Satin_kernel.Kernel.tick
+       (fun ~core ->
+         if core = 0 && Cpu.in_secure (Platform.core s.Scenario.platform 0) then
+           incr ticks_during_secure));
+  run s (Sim_time.s 10);
+  Satin.stop satin;
+  Alcotest.(check bool) "rounds ran" true (Satin.rounds_count satin > 5);
+  Alcotest.(check int) "no tick delivered inside the secure window" 0
+    !ticks_during_secure
+
+let suite =
+  [
+    Alcotest.test_case "baseline fixed period" `Quick test_baseline_fixed_period_rounds;
+    Alcotest.test_case "baseline scan duration" `Quick test_baseline_full_scan_duration;
+    Alcotest.test_case "baseline random core" `Quick test_baseline_random_core_spreads;
+    Alcotest.test_case "baseline detects static tamper" `Quick
+      test_baseline_detects_static_tamper;
+    Alcotest.test_case "satin covers all areas per pass" `Quick test_satin_covers_all_areas;
+    Alcotest.test_case "satin cadence randomized in [0,2tp]" `Quick
+      test_satin_round_cadence_randomized;
+    Alcotest.test_case "satin uses all cores" `Quick test_satin_uses_all_cores_randomly;
+    Alcotest.test_case "ablation: fixed core" `Quick test_satin_ablation_fixed_core;
+    Alcotest.test_case "ablation: in-order areas" `Quick test_satin_ablation_in_order_areas;
+    Alcotest.test_case "ablation: fixed period" `Quick test_satin_ablation_fixed_period;
+    Alcotest.test_case "satin detects persistent rootkit" `Quick
+      test_satin_detects_persistent_rootkit;
+    Alcotest.test_case "satin round non-preemptible" `Quick test_satin_non_preemptible_round;
+  ]

@@ -1,0 +1,182 @@
+(* Dynamic kernel data: process table, DKOM hiding, cross-view detection. *)
+
+module Scenario = Satin.Scenario
+open Satin_engine
+module Memory = Satin_hw.Memory
+module World = Satin_hw.World
+module Platform = Satin_hw.Platform
+module Proc_table = Satin_kernel.Proc_table
+module Dkom = Satin_introspect.Dkom
+module Dkom_rootkit = Satin_attack.Dkom_rootkit
+module Kprober = Satin_attack.Kprober
+
+let make_table () =
+  let memory = Memory.create ~size:(4 * 1024 * 1024) in
+  memory, Proc_table.create ~memory ~base:(1024 * 1024) ~capacity:32
+
+let prng () = Prng.create 5
+
+let test_spawn_and_walk () =
+  let _, t = make_table () in
+  Proc_table.spawn t ~pid:1 ();
+  Proc_table.spawn t ~pid:2 ();
+  Proc_table.spawn t ~pid:3 ~runnable:false ();
+  Alcotest.(check (list int)) "tasks view" [ 1; 2; 3 ]
+    (Proc_table.pids_via_tasks t ~world:World.Normal);
+  Alcotest.(check (list int)) "runqueue view" [ 1; 2 ]
+    (Proc_table.pids_via_runqueue t ~world:World.Normal);
+  Alcotest.(check int) "live count" 3 (Proc_table.live_count t)
+
+let test_exit_unlinks () =
+  let _, t = make_table () in
+  Proc_table.spawn t ~pid:1 ();
+  Proc_table.spawn t ~pid:2 ();
+  Proc_table.exit_process t ~pid:1;
+  Alcotest.(check (list int)) "tasks after exit" [ 2 ]
+    (Proc_table.pids_via_tasks t ~world:World.Normal);
+  Alcotest.(check (list int)) "runq after exit" [ 2 ]
+    (Proc_table.pids_via_runqueue t ~world:World.Normal);
+  (* Slot reuse. *)
+  Proc_table.spawn t ~pid:9 ();
+  Alcotest.(check int) "live" 2 (Proc_table.live_count t)
+
+let test_capacity_and_duplicates () =
+  let _, t = make_table () in
+  for pid = 1 to 32 do
+    Proc_table.spawn t ~pid ()
+  done;
+  (try
+     Proc_table.spawn t ~pid:99 ();
+     Alcotest.fail "over capacity accepted"
+   with Invalid_argument _ -> ());
+  try
+    Proc_table.exit_process t ~pid:1;
+    Proc_table.spawn t ~pid:2 ();
+    Alcotest.fail "duplicate pid accepted"
+  with Invalid_argument _ -> ()
+
+let test_unlink_relink () =
+  let _, t = make_table () in
+  for pid = 1 to 5 do
+    Proc_table.spawn t ~pid ()
+  done;
+  Proc_table.unlink_tasks t ~world:World.Normal ~pid:3;
+  Alcotest.(check (list int)) "hidden from tasks" [ 1; 2; 4; 5 ]
+    (Proc_table.pids_via_tasks t ~world:World.Normal);
+  Alcotest.(check (list int)) "still scheduled" [ 1; 2; 3; 4; 5 ]
+    (Proc_table.pids_via_runqueue t ~world:World.Normal);
+  Alcotest.(check bool) "tasks_linked false" false (Proc_table.tasks_linked t ~pid:3);
+  (* Idempotent unlink must not corrupt the list. *)
+  Proc_table.unlink_tasks t ~world:World.Normal ~pid:3;
+  Proc_table.relink_tasks t ~world:World.Normal ~pid:3;
+  Alcotest.(check (list int)) "restored in place" [ 1; 2; 3; 4; 5 ]
+    (Proc_table.pids_via_tasks t ~world:World.Normal);
+  Proc_table.relink_tasks t ~world:World.Normal ~pid:3;
+  Alcotest.(check (list int)) "idempotent relink" [ 1; 2; 3; 4; 5 ]
+    (Proc_table.pids_via_tasks t ~world:World.Normal)
+
+let test_cross_view_clean () =
+  let _, t = make_table () in
+  for pid = 1 to 6 do
+    Proc_table.spawn t ~pid ~runnable:(pid mod 2 = 0) ()
+  done;
+  let r = Dkom.check t ~prng:(prng ()) in
+  Alcotest.(check (list int)) "no hidden" [] r.Dkom.hidden_pids;
+  (* Non-runnable processes are ghosts (benign): listed, not scheduled. *)
+  Alcotest.(check (list int)) "benign ghosts" [ 1; 3; 5 ] r.Dkom.ghost_pids;
+  Alcotest.(check bool) "not flagged" false (Dkom.hidden r);
+  Alcotest.(check bool) "walk takes time" true (r.Dkom.duration > Sim_time.zero)
+
+let test_cross_view_catches_dkom () =
+  let _, t = make_table () in
+  for pid = 1 to 6 do
+    Proc_table.spawn t ~pid ()
+  done;
+  Proc_table.unlink_tasks t ~world:World.Normal ~pid:4;
+  let r = Dkom.check t ~prng:(prng ()) in
+  Alcotest.(check (list int)) "hidden found" [ 4 ] r.Dkom.hidden_pids;
+  Alcotest.(check bool) "flagged" true (Dkom.hidden r);
+  Alcotest.(check int) "counts" 5 r.Dkom.tasks_count;
+  Alcotest.(check int) "runq count" 6 r.Dkom.runqueue_count
+
+let test_walk_cost_scales () =
+  let _, t = make_table () in
+  for pid = 1 to 30 do
+    Proc_table.spawn t ~pid ()
+  done;
+  let r = Dkom.check t ~prng:(prng ()) in
+  let per_node = Sim_time.to_sec_f r.Dkom.duration /. 62.0 in
+  if per_node < 8.0e-8 || per_node > 1.5e-7 then
+    Alcotest.failf "per-node cost out of model: %g" per_node
+
+let test_dkom_rootkit_reacts_to_long_introspection () =
+  let s = Scenario.create ~seed:97 () in
+  let table =
+    Proc_table.create ~memory:s.Scenario.platform.Platform.memory
+      ~base:(16 * 1024 * 1024) ~capacity:16
+  in
+  for pid = 1 to 5 do
+    Proc_table.spawn table ~pid ()
+  done;
+  Proc_table.spawn table ~pid:1337 ();
+  let rk =
+    Dkom_rootkit.deploy s.Scenario.kernel table ~pid:1337
+      ~prober_config:{ Kprober.default_config with period = Sim_time.us 500 }
+  in
+  Dkom_rootkit.start rk;
+  Scenario.run_for s (Sim_time.ms 20);
+  Alcotest.(check bool) "hidden while quiet" true (Dkom_rootkit.is_hidden rk);
+  Alcotest.(check bool) "not in tasks list" false
+    (Proc_table.tasks_linked table ~pid:1337);
+  (* A long secure residency (a full-kernel scan) is visible to the prober:
+     the rootkit relinks. *)
+  let cpu = Platform.core s.Scenario.platform 4 in
+  Satin_hw.Cpu.set_world cpu World.Secure;
+  Scenario.run_for s (Sim_time.ms 50);
+  Alcotest.(check bool) "relinked under observation" true
+    (Proc_table.tasks_linked table ~pid:1337);
+  Alcotest.(check bool) "one relink" true (Dkom_rootkit.relinks rk >= 1);
+  Satin_hw.Cpu.set_world cpu World.Normal;
+  Scenario.run_for s (Sim_time.ms 50);
+  Alcotest.(check bool) "re-hidden after all-clear" true (Dkom_rootkit.is_hidden rk);
+  Dkom_rootkit.stop rk
+
+let test_e13_end_to_end () =
+  let r = Satin.Experiment.run_e13 ~seed:7 ~checks:8 () in
+  Alcotest.(check int) "all checks performed" 8 r.Satin.Experiment.e13_checks;
+  Alcotest.(check int) "all detected" 8 r.Satin.Experiment.e13_detections;
+  Alcotest.(check int) "no relinks: checks invisible to the side channel" 0
+    r.Satin.Experiment.e13_relinks
+
+let prop_unlink_relink_roundtrip =
+  QCheck.Test.make ~name:"unlink+relink restores any pid" ~count:40
+    QCheck.(pair (int_range 2 20) (int_bound 1000))
+    (fun (n, pick) ->
+      let _, t = make_table () in
+      for pid = 1 to n do
+        Proc_table.spawn t ~pid ()
+      done;
+      let before = Proc_table.pids_via_tasks t ~world:World.Normal in
+      let victim = 1 + (pick mod n) in
+      Proc_table.unlink_tasks t ~world:World.Normal ~pid:victim;
+      let hidden = Proc_table.pids_via_tasks t ~world:World.Normal in
+      Proc_table.relink_tasks t ~world:World.Normal ~pid:victim;
+      let after = Proc_table.pids_via_tasks t ~world:World.Normal in
+      (not (List.mem victim hidden))
+      && List.length hidden = n - 1
+      && after = before)
+
+let suite =
+  [
+    Alcotest.test_case "spawn and walk" `Quick test_spawn_and_walk;
+    Alcotest.test_case "exit unlinks" `Quick test_exit_unlinks;
+    Alcotest.test_case "capacity and duplicates" `Quick test_capacity_and_duplicates;
+    Alcotest.test_case "unlink/relink" `Quick test_unlink_relink;
+    Alcotest.test_case "cross-view clean" `Quick test_cross_view_clean;
+    Alcotest.test_case "cross-view catches dkom" `Quick test_cross_view_catches_dkom;
+    Alcotest.test_case "walk cost scales" `Quick test_walk_cost_scales;
+    Alcotest.test_case "dkom rootkit reacts" `Quick
+      test_dkom_rootkit_reacts_to_long_introspection;
+    Alcotest.test_case "E13 end to end" `Quick test_e13_end_to_end;
+    QCheck_alcotest.to_alcotest prop_unlink_relink_roundtrip;
+  ]

@@ -1,0 +1,138 @@
+open Satin_engine
+
+let test_clock_starts_zero () =
+  let e = Engine.create () in
+  Alcotest.(check int) "boot time" 0 (Engine.now e)
+
+let test_schedule_and_run () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~after:(Sim_time.ms 5) (fun () -> fired := 5 :: !fired));
+  ignore (Engine.schedule e ~after:(Sim_time.ms 1) (fun () -> fired := 1 :: !fired));
+  Engine.run_all e ();
+  Alcotest.(check (list int)) "fired in time order" [ 1; 5 ] (List.rev !fired);
+  Alcotest.(check int) "clock at last event" (Sim_time.ms 5) (Engine.now e)
+
+let test_run_until_advances_clock () =
+  let e = Engine.create () in
+  Engine.run_until e (Sim_time.s 3);
+  Alcotest.(check int) "clock advanced with empty queue" (Sim_time.s 3) (Engine.now e)
+
+let test_run_until_inclusive () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.schedule e ~after:(Sim_time.s 1) (fun () -> incr hits));
+  ignore (Engine.schedule e ~after:(Sim_time.s 2) (fun () -> incr hits));
+  Engine.run_until e (Sim_time.s 1);
+  Alcotest.(check int) "boundary event fires" 1 !hits;
+  Engine.run_until e (Sim_time.s 5);
+  Alcotest.(check int) "rest fires" 2 !hits
+
+let test_now_visible_in_callback () =
+  let e = Engine.create () in
+  let seen = ref 0 in
+  ignore (Engine.schedule e ~after:(Sim_time.us 7) (fun () -> seen := Engine.now e));
+  Engine.run_all e ();
+  Alcotest.(check int) "now inside callback" (Sim_time.us 7) !seen
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~after:1 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~after:1 (fun () -> log := "inner" :: !log))));
+  Engine.run_all e ();
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "clock" 2 (Engine.now e)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let hit = ref false in
+  let h = Engine.schedule e ~after:1 (fun () -> hit := true) in
+  Engine.cancel e h;
+  Engine.run_all e ();
+  Alcotest.(check bool) "cancelled never fires" false !hit
+
+let test_schedule_in_past_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay" Engine.Schedule_in_past (fun () ->
+      ignore (Engine.schedule e ~after:(-1) (fun () -> ())));
+  Engine.run_until e (Sim_time.s 1);
+  Alcotest.check_raises "absolute past" Engine.Schedule_in_past (fun () ->
+      ignore (Engine.at e ~time:(Sim_time.ms 500) (fun () -> ())))
+
+let test_every () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let handle = Engine.every e ~period:(Sim_time.ms 10) (fun () -> incr hits) in
+  Engine.run_until e (Sim_time.ms 35);
+  Alcotest.(check int) "three periods" 3 !hits;
+  Engine.cancel e !handle;
+  Engine.run_until e (Sim_time.ms 100);
+  Alcotest.(check int) "stopped" 3 !hits
+
+let test_every_with_start () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.every e ~period:(Sim_time.ms 10) ~start:(Sim_time.ms 5) (fun () ->
+         times := Engine.now e :: !times));
+  Engine.run_until e (Sim_time.ms 26);
+  Alcotest.(check (list int)) "start offset respected"
+    [ Sim_time.ms 5; Sim_time.ms 15; Sim_time.ms 25 ]
+    (List.rev !times)
+
+
+let test_every_cancel_from_callback () =
+  (* The .mli contract: cancelling the returned ref from inside the callback
+     stops the recurrence. *)
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let handle = ref (Obj.magic 0) in
+  handle :=
+    Engine.every e ~period:(Sim_time.ms 10) (fun () ->
+        incr hits;
+        if !hits = 3 then Engine.cancel e !(!handle));
+  Engine.run_until e (Sim_time.ms 200);
+  Alcotest.(check int) "stopped from inside" 3 !hits
+
+let test_step () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:1 (fun () -> ()));
+  Alcotest.(check bool) "step true" true (Engine.step e);
+  Alcotest.(check bool) "step false when empty" false (Engine.step e)
+
+let test_run_all_limit () =
+  let e = Engine.create () in
+  let rec reschedule () = ignore (Engine.schedule e ~after:1 reschedule) in
+  reschedule ();
+  Engine.run_all e ~limit:100 ();
+  Alcotest.(check int) "bounded by limit" 100 (Engine.now e)
+
+let test_pending () =
+  let e = Engine.create () in
+  Alcotest.(check int) "empty" 0 (Engine.pending e);
+  let h = Engine.schedule e ~after:1 (fun () -> ()) in
+  ignore (Engine.schedule e ~after:2 (fun () -> ()));
+  Alcotest.(check int) "two" 2 (Engine.pending e);
+  Engine.cancel e h;
+  Alcotest.(check int) "one after cancel" 1 (Engine.pending e)
+
+let suite =
+  [
+    Alcotest.test_case "clock starts at zero" `Quick test_clock_starts_zero;
+    Alcotest.test_case "schedule and run" `Quick test_schedule_and_run;
+    Alcotest.test_case "run_until advances clock" `Quick test_run_until_advances_clock;
+    Alcotest.test_case "run_until inclusive" `Quick test_run_until_inclusive;
+    Alcotest.test_case "now visible in callback" `Quick test_now_visible_in_callback;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
+    Alcotest.test_case "every" `Quick test_every;
+    Alcotest.test_case "every with start" `Quick test_every_with_start;
+    Alcotest.test_case "every cancel from callback" `Quick test_every_cancel_from_callback;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "run_all limit" `Quick test_run_all_limit;
+    Alcotest.test_case "pending" `Quick test_pending;
+  ]

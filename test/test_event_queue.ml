@@ -1,0 +1,115 @@
+open Satin_engine
+
+let test_fifo_same_time () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:5 "a");
+  ignore (Event_queue.push q ~time:5 "b");
+  ignore (Event_queue.push q ~time:5 "c");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order at equal time"
+    [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_time_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:30 3);
+  ignore (Event_queue.push q ~time:10 1);
+  ignore (Event_queue.push q ~time:20 2);
+  let times = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, v) ->
+        times := (t, v) :: !times;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair int int)))
+    "sorted" [ (10, 1); (20, 2); (30, 3) ] (List.rev !times)
+
+let test_cancel () =
+  let q = Event_queue.create () in
+  let h1 = ignore (Event_queue.push q ~time:1 "keep"); Event_queue.push q ~time:2 "drop" in
+  Alcotest.(check int) "two live" 2 (Event_queue.length q);
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "one live" 1 (Event_queue.length q);
+  Alcotest.(check bool) "handle dead" false (Event_queue.is_live h1);
+  (match Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check string) "survivor" "keep" v
+  | None -> Alcotest.fail "expected survivor");
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let h = Event_queue.push q ~time:1 () in
+  Event_queue.cancel q h;
+  Event_queue.cancel q h;
+  Alcotest.(check int) "still zero" 0 (Event_queue.length q)
+
+let test_peek_skips_cancelled () =
+  let q = Event_queue.create () in
+  let h = Event_queue.push q ~time:1 "x" in
+  ignore (Event_queue.push q ~time:5 "y");
+  Event_queue.cancel q h;
+  Alcotest.(check (option int)) "peek live" (Some 5) (Event_queue.peek_time q)
+
+let test_pop_empty () =
+  let q : unit Event_queue.t = Event_queue.create () in
+  Alcotest.(check bool) "pop empty" true (Event_queue.pop q = None);
+  Alcotest.(check bool) "peek empty" true (Event_queue.peek_time q = None)
+
+let test_growth () =
+  let q = Event_queue.create () in
+  for i = 999 downto 0 do
+    ignore (Event_queue.push q ~time:i i)
+  done;
+  Alcotest.(check int) "length" 1000 (Event_queue.length q);
+  for i = 0 to 999 do
+    match Event_queue.pop q with
+    | Some (t, v) ->
+        Alcotest.(check int) "time" i t;
+        Alcotest.(check int) "value" i v
+    | None -> Alcotest.fail "missing event"
+  done
+
+let prop_heap_orders_any_sequence =
+  QCheck.Test.make ~name:"pop yields non-decreasing times"
+    QCheck.(list_of_size Gen.(0 -- 200) (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.push q ~time:t t)) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain min_int)
+
+let prop_cancel_half =
+  QCheck.Test.make ~name:"cancelled events never pop"
+    QCheck.(list_of_size Gen.(0 -- 100) (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      let handles =
+        List.mapi (fun i t -> i, Event_queue.push q ~time:t t) times
+      in
+      List.iter (fun (i, h) -> if i mod 2 = 0 then Event_queue.cancel q h) handles;
+      let rec drain n =
+        match Event_queue.pop q with Some _ -> drain (n + 1) | None -> n
+      in
+      drain 0 = List.length times / 2)
+
+let suite =
+  [
+    Alcotest.test_case "fifo at same time" `Quick test_fifo_same_time;
+    Alcotest.test_case "time order" `Quick test_time_order;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "peek skips cancelled" `Quick test_peek_skips_cancelled;
+    Alcotest.test_case "pop empty" `Quick test_pop_empty;
+    Alcotest.test_case "growth to 1000" `Quick test_growth;
+    QCheck_alcotest.to_alcotest prop_heap_orders_any_sequence;
+    QCheck_alcotest.to_alcotest prop_cancel_half;
+  ]

@@ -1,0 +1,101 @@
+(* Smoke + invariant tests for the remaining experiment runners, and a
+   multi-seed robustness check on the headline result. *)
+
+module E = Satin.Experiment
+open Satin_engine
+
+let test_run_e8_quick () =
+  let r = E.run_e8 ~seed:11 ~duration_s:60 () in
+  (* Deep placement evades... *)
+  Alcotest.(check bool) "scans ran" true (r.E.e8_deep.E.e8_rounds >= 4);
+  Alcotest.(check int) "deep placement: zero detections" 0
+    (r.E.e8_deep.E.e8_detections);
+  Alcotest.(check bool) "uptime high" true (r.E.e8_deep.E.e8_uptime_fraction > 0.9);
+  (* ...shallow placement is caught every round. *)
+  Alcotest.(check int) "shallow placement: every scan detects"
+    r.E.e8_shallow.E.e8_rounds r.E.e8_shallow.E.e8_detections;
+  (* Realized hide time near the paper's 8.13 ms race budget. *)
+  if not (Stats.is_empty r.E.e8_deep.E.e8_reaction) then begin
+    let m = Stats.mean r.E.e8_deep.E.e8_reaction in
+    if m < 6.5e-3 || m > 10.0e-3 then Alcotest.failf "reaction %g" m
+  end
+
+let test_run_fig7_tiny () =
+  let r = E.run_fig7 ~seed:11 ~window_s:6 () in
+  Alcotest.(check int) "12 programs" 12 (List.length r.E.f7_rows);
+  let find name = List.find (fun row -> row.E.f7_program = name) r.E.f7_rows in
+  let fc = find "file_copy_256" and dh = find "dhrystone2" in
+  Alcotest.(check bool) "memory-bound worst" true
+    (fc.E.f7_deg_1task > 3.0 *. dh.E.f7_deg_1task);
+  List.iter
+    (fun row ->
+      if row.E.f7_deg_1task < -0.5 || row.E.f7_deg_1task > 10.0 then
+        Alcotest.failf "%s degradation out of range: %g" row.E.f7_program
+          row.E.f7_deg_1task)
+    r.E.f7_rows
+
+let test_run_uprober_quick () =
+  let r = E.run_uprober ~seed:11 ~trials:6 () in
+  Alcotest.(check int) "all checks seen" 6 r.E.up_detected;
+  Alcotest.(check bool) "delay below the paper bound" true
+    (Stats.max r.E.up_delays < 5.97e-3 +. 2.0e-3)
+
+let test_run_e1_e6_seed_independence () =
+  (* Different seeds draw different samples but stay inside calibration. *)
+  let a = E.run_e1 ~seed:1 () and b = E.run_e1 ~seed:2 () in
+  Alcotest.(check bool) "different draws" false
+    (Stats.mean a.E.e1_a53 = Stats.mean b.E.e1_a53);
+  let e6 = E.run_e6 ~seed:3 ~rounds:20 () in
+  Alcotest.(check bool) "single-core cheaper to probe" true (e6.E.e6_ratio < 0.6)
+
+let test_run_ablation_quick () =
+  let r = E.run_ablation ~seed:11 ~passes:1 () in
+  (match r.E.ab_rows with
+  | [ full_reactive; full_predictive; fixed_predictive; derand_aware ] ->
+      Alcotest.(check bool) "full satin detects reactive" true
+        (full_reactive.E.ab_area14_detections = full_reactive.E.ab_area14_checks);
+      Alcotest.(check bool) "full satin detects predictive" true
+        (full_predictive.E.ab_area14_detections >= 1);
+      Alcotest.(check int) "fixed period evaded" 0
+        fixed_predictive.E.ab_area14_detections;
+      Alcotest.(check int) "derandomized evaded" 0 derand_aware.E.ab_area14_detections;
+      Alcotest.(check bool) "area-aware attacker keeps more uptime" true
+        (derand_aware.E.ab_attack_uptime > fixed_predictive.E.ab_attack_uptime)
+  | _ -> Alcotest.fail "four ablation rows expected")
+
+let test_run_sweep_tiny () =
+  let r = E.run_tgoal_sweep ~seed:11 ~trials:2 ~tps_s:[ 1.0; 4.0 ] () in
+  match r.E.sw_rows with
+  | [ fast; slow ] ->
+      Alcotest.(check bool) "faster cadence detects sooner" true
+        (Stats.mean fast.E.sw_detect_latency < Stats.mean slow.E.sw_detect_latency);
+      Alcotest.(check bool) "faster cadence costs more" true
+        (fast.E.sw_overhead_pct > slow.E.sw_overhead_pct)
+  | _ -> Alcotest.fail "two sweep rows expected"
+
+(* The headline §VI-B1 outcome must not depend on the seed. *)
+let test_e10_multi_seed () =
+  List.iter
+    (fun seed ->
+      let r = E.run_e10 ~seed ~target_rounds:38 () in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: every area-14 check detects" seed)
+        r.E.e10_area14_checks r.E.e10_area14_detections;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: no successful evasions" seed)
+        0 r.E.e10_evasions_succeeded;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: no probe false negatives" seed)
+        0 r.E.e10_false_negatives)
+    [ 1; 7; 123 ]
+
+let suite =
+  [
+    Alcotest.test_case "run_e8 quick" `Slow test_run_e8_quick;
+    Alcotest.test_case "run_fig7 tiny" `Slow test_run_fig7_tiny;
+    Alcotest.test_case "run_uprober quick" `Slow test_run_uprober_quick;
+    Alcotest.test_case "e1/e6 seed independence" `Quick test_run_e1_e6_seed_independence;
+    Alcotest.test_case "run_ablation quick" `Slow test_run_ablation_quick;
+    Alcotest.test_case "run_sweep tiny" `Slow test_run_sweep_tiny;
+    Alcotest.test_case "e10 multi-seed robustness" `Slow test_e10_multi_seed;
+  ]

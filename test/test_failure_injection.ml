@@ -1,0 +1,198 @@
+(* Adversarial and degraded-environment scenarios: what breaks each side of
+   the race when its assumptions are violated. *)
+
+module Scenario = Satin.Scenario
+open Satin_engine
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module World = Satin_hw.World
+module Task = Satin_kernel.Task
+module Kernel = Satin_kernel.Kernel
+module Satin_def = Satin_introspect.Satin
+module Round = Satin_introspect.Round
+module Kprober = Satin_attack.Kprober
+module Board = Satin_attack.Board
+module Evader = Satin_attack.Evader
+module Rootkit = Satin_attack.Rootkit
+
+let run s d = Scenario.run_for s d
+
+(* An equal-priority SCHED_FIFO hog starves KProber-II on one core: FIFO
+   tasks run until they sleep, so the probe thread never gets the CPU and
+   the other comparers flag the core exactly as if it had gone secure — the
+   prober cannot tell starvation from introspection (§III-B2's reliability
+   caveat, inverted). *)
+let test_rt_hog_starves_kprober () =
+  let s = Scenario.create ~seed:91 () in
+  let prober = Kprober.deploy s.Scenario.kernel Kprober.default_config in
+  run s (Sim_time.ms 20);
+  Alcotest.(check bool) "quiet before" false (Kprober.suspected_any prober);
+  let hog =
+    Task.create ~name:"rt-hog" ~policy:(Task.Rt_fifo Task.rt_priority_max)
+      ~affinity:2
+      ~body:(fun _ ->
+        { Task.cpu = Sim_time.ms 50; after = (fun () -> Task.Reenter) })
+      ()
+  in
+  Kernel.spawn s.Scenario.kernel hog;
+  run s (Sim_time.ms 20);
+  Alcotest.(check bool) "starved core flagged as 'secure'" true
+    (Kprober.suspected prober ~core:2);
+  Alcotest.(check bool) "other cores unaffected" false
+    (Kprober.suspected prober ~core:0);
+  Kprober.retire prober
+
+(* A *higher*-priority probe thread is immune to the same hog: priority 99
+   beats 98 (why KProber-II claims the RT ceiling). *)
+let test_kprober_survives_lower_rt_load () =
+  let s = Scenario.create ~seed:92 () in
+  let prober = Kprober.deploy s.Scenario.kernel Kprober.default_config in
+  let hog =
+    Task.create ~name:"rt-hog98" ~policy:(Task.Rt_fifo 98) ~affinity:2
+      ~body:(fun _ ->
+        { Task.cpu = Sim_time.ms 50; after = (fun () -> Task.Reenter) })
+      ()
+  in
+  Kernel.spawn s.Scenario.kernel hog;
+  run s (Sim_time.s 1);
+  Alcotest.(check bool) "no false suspicion under prio-98 load" false
+    (Kprober.suspected_any prober);
+  Kprober.retire prober
+
+(* CFS overload does not disturb KProber-II at all. *)
+let test_kprober_immune_to_cfs_storm () =
+  let s = Scenario.create ~seed:93 () in
+  let prober = Kprober.deploy s.Scenario.kernel Kprober.default_config in
+  for core = 0 to 5 do
+    for _ = 1 to 4 do
+      ignore (Kernel.spawn_spinner s.Scenario.kernel ~core)
+    done
+  done;
+  run s (Sim_time.s 2);
+  Alcotest.(check bool) "no suspicion under CFS storm" false
+    (Kprober.suspected_any prober);
+  (* Reports kept flowing at full rate. *)
+  for core = 0 to 5 do
+    Alcotest.(check bool) "reporting" true
+      (Board.reports_count (Kprober.board prober) ~core > 9_000)
+  done;
+  Kprober.retire prober
+
+(* SATIN keeps its coverage guarantee while the machine is saturated: the
+   secure timer and the monitor do not care what the rich OS is running. *)
+let test_satin_unaffected_by_overload () =
+  let s = Scenario.create ~seed:94 () in
+  for core = 0 to 5 do
+    for _ = 1 to 3 do
+      ignore (Kernel.spawn_spinner s.Scenario.kernel ~core)
+    done
+  done;
+  let satin =
+    Scenario.install_satin s
+      ~config:{ Satin_def.default_config with Satin_def.t_goal = Sim_time.s 19 }
+      ()
+  in
+  run s (Sim_time.s 21);
+  Satin_def.stop satin;
+  Alcotest.(check bool) "a full pass under load" true (Satin_def.full_passes satin >= 1)
+
+(* The evader's cleanup races correctly even when its cleanup core is the
+   one taken by the introspection: the hide still completes (kernel code on
+   another core would do it in reality; here the model is timing-only), and
+   detection still lands because the area scan beats the restore. *)
+let test_round_on_cleanup_core () =
+  let s = Scenario.create ~seed:95 () in
+  let satin =
+    Scenario.install_satin s
+      ~config:
+        {
+          Satin_def.default_config with
+          Satin_def.t_goal = Sim_time.s 19;
+          randomize_core = false (* every round on core 0 *);
+        }
+      ()
+  in
+  let evader =
+    Evader.deploy s.Scenario.kernel
+      {
+        Evader.default_config with
+        cleanup_core = 0 (* same core the defender always takes *);
+        prober = { Kprober.default_config with period = Sim_time.us 500 };
+      }
+  in
+  Evader.start evader;
+  run s (Sim_time.s 40);
+  Satin_def.stop satin;
+  Evader.stop evader;
+  let area14 =
+    List.filter (fun r -> r.Round.area_index = 14) (Satin_def.rounds satin)
+  in
+  Alcotest.(check bool) "area 14 rounds happened" true (List.length area14 >= 1);
+  List.iter
+    (fun r -> Alcotest.(check bool) "still detected" true (Round.detected r))
+    area14
+
+(* Secure-world starvation of the rich OS: hold every core secure at once
+   (the suspension SATIN avoids); all pinned tasks stall; unpinned wake-ups
+   fall back without crashing. *)
+let test_all_cores_secure_freeze () =
+  let s = Scenario.create ~seed:96 () in
+  let t = Kernel.spawn_spinner s.Scenario.kernel ~core:0 in
+  run s (Sim_time.ms 50);
+  let before = Task.cpu_time t in
+  Array.iter (fun c -> Cpu.set_world c World.Secure) s.Scenario.platform.Platform.cores;
+  run s (Sim_time.ms 100);
+  Alcotest.(check bool) "whole rich OS frozen" true
+    (Sim_time.diff (Task.cpu_time t) before < Sim_time.ms 1);
+  Array.iter (fun c -> Cpu.set_world c World.Normal) s.Scenario.platform.Platform.cores;
+  run s (Sim_time.ms 100);
+  Alcotest.(check bool) "resumes" true
+    (Sim_time.diff (Task.cpu_time t) before > Sim_time.ms 90)
+
+(* Property: SATIN on synthetic kernels — a persistent modification planted
+   at a uniformly random location is detected within one full pass, for any
+   layout whose areas respect the bound. *)
+let prop_satin_detects_anywhere =
+  QCheck.Test.make ~name:"satin detects a persistent tamper anywhere" ~count:8
+    QCheck.(pair (int_range 3 9) (int_bound 1_000_000))
+    (fun (areas, loc_seed) ->
+      let layout =
+        Satin_kernel.Layout.synthetic ~base:(2 * 1024 * 1024)
+          ~total_size:2_000_000 ~areas ~seed:(areas * 7)
+      in
+      let s = Scenario.create ~seed:(areas + loc_seed) ~layout () in
+      let satin =
+        Scenario.install_satin s
+          ~config:
+            {
+              Satin_def.default_config with
+              Satin_def.t_goal = Sim_time.s areas (* tp = 1 s *);
+            }
+          ()
+      in
+      (* Plant 8 persistent bytes at a random offset in the image. *)
+      let base = Satin_kernel.Layout.base layout in
+      let total = Satin_kernel.Layout.total_size layout in
+      let addr = base + (loc_seed mod (total - 8)) in
+      let rk =
+        Rootkit.create s.Scenario.kernel ~target_addr:addr ~cleanup_core:0 ()
+      in
+      Rootkit.arm rk;
+      (* Two passes of margin. *)
+      run s (Sim_time.s (2 * areas + 2));
+      Satin_def.stop satin;
+      Satin_def.detections satin >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "rt hog starves kprober" `Quick test_rt_hog_starves_kprober;
+    Alcotest.test_case "kprober survives lower-prio rt" `Quick
+      test_kprober_survives_lower_rt_load;
+    Alcotest.test_case "kprober immune to cfs storm" `Quick
+      test_kprober_immune_to_cfs_storm;
+    Alcotest.test_case "satin unaffected by overload" `Quick
+      test_satin_unaffected_by_overload;
+    Alcotest.test_case "round on cleanup core" `Quick test_round_on_cleanup_core;
+    Alcotest.test_case "all cores secure = freeze" `Quick test_all_cores_secure_freeze;
+    QCheck_alcotest.to_alcotest prop_satin_detects_anywhere;
+  ]

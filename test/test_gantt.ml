@@ -1,0 +1,89 @@
+module Scenario = Satin.Scenario
+module Gantt = Satin.Gantt
+open Satin_engine
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module World = Satin_hw.World
+
+let test_records_windows () =
+  let s = Scenario.create ~seed:111 () in
+  let r = Gantt.record s.Scenario.platform in
+  let cpu = Platform.core s.Scenario.platform 2 in
+  Scenario.run_for s (Sim_time.ms 10);
+  Cpu.set_world cpu World.Secure;
+  Scenario.run_for s (Sim_time.ms 5);
+  Cpu.set_world cpu World.Normal;
+  Scenario.run_for s (Sim_time.ms 10);
+  (match Gantt.secure_windows r ~core:2 with
+  | [ (entry, exit) ] ->
+      Alcotest.(check int) "entry" (Sim_time.ms 10) entry;
+      Alcotest.(check int) "exit" (Sim_time.ms 15) exit
+  | l -> Alcotest.failf "expected one window, got %d" (List.length l));
+  Alcotest.(check (list (pair int int))) "other core untouched" []
+    (Gantt.secure_windows r ~core:0)
+
+let test_open_window_closed_at_now () =
+  let s = Scenario.create ~seed:112 () in
+  let r = Gantt.record s.Scenario.platform in
+  Cpu.set_world (Platform.core s.Scenario.platform 1) World.Secure;
+  Scenario.run_for s (Sim_time.ms 7);
+  match Gantt.secure_windows r ~core:1 with
+  | [ (_, exit) ] -> Alcotest.(check int) "closed at now" (Sim_time.ms 7) exit
+  | _ -> Alcotest.fail "open window missing"
+
+let test_render_paints_secure_and_markers () =
+  let s = Scenario.create ~seed:113 () in
+  let r = Gantt.record s.Scenario.platform in
+  let cpu = Platform.core s.Scenario.platform 0 in
+  Scenario.run_for s (Sim_time.ms 40);
+  Cpu.set_world cpu World.Secure;
+  Scenario.run_for s (Sim_time.ms 20);
+  Cpu.set_world cpu World.Normal;
+  Scenario.run_for s (Sim_time.ms 40);
+  let out =
+    Gantt.render r
+      ~markers:[ { Gantt.m_time = Sim_time.ms 90; m_core = 0; m_char = '!' } ]
+      ~t0:Sim_time.zero ~t1:(Sim_time.ms 100) ~width:50 ()
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + 6 lanes + trailing" 8 (List.length lines);
+  let lane0 = List.nth lines 1 in
+  Alcotest.(check bool) "secure painted" true (String.contains lane0 '#');
+  Alcotest.(check bool) "marker painted" true (String.contains lane0 '!');
+  let lane3 = List.nth lines 4 in
+  Alcotest.(check bool) "idle lane clean" false (String.contains lane3 '#')
+
+let test_short_window_still_visible () =
+  let s = Scenario.create ~seed:114 () in
+  let r = Gantt.record s.Scenario.platform in
+  let cpu = Platform.core s.Scenario.platform 5 in
+  Scenario.run_for s (Sim_time.s 50);
+  Cpu.set_world cpu World.Secure;
+  Scenario.run_for s (Sim_time.ms 7);
+  Cpu.set_world cpu World.Normal;
+  Scenario.run_for s (Sim_time.s 50);
+  (* 7 ms on a 100 s axis: far below one column, must still paint. *)
+  let out = Gantt.render r ~t0:Sim_time.zero ~t1:(Sim_time.s 100) ~width:80 () in
+  let lane5 = List.nth (String.split_on_char '\n' out) 6 in
+  Alcotest.(check bool) "still visible" true (String.contains lane5 '#')
+
+let test_render_validation () =
+  let s = Scenario.create ~seed:115 () in
+  let r = Gantt.record s.Scenario.platform in
+  (try
+     ignore (Gantt.render r ~t0:(Sim_time.s 1) ~t1:(Sim_time.s 1) ~width:50 ());
+     Alcotest.fail "empty window accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Gantt.render r ~t0:Sim_time.zero ~t1:(Sim_time.s 1) ~width:5 ());
+    Alcotest.fail "tiny width accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "records windows" `Quick test_records_windows;
+    Alcotest.test_case "open window closed at now" `Quick test_open_window_closed_at_now;
+    Alcotest.test_case "render paints" `Quick test_render_paints_secure_and_markers;
+    Alcotest.test_case "short window visible" `Quick test_short_window_still_visible;
+    Alcotest.test_case "render validation" `Quick test_render_validation;
+  ]

@@ -1,0 +1,107 @@
+open Satin_introspect
+open Satin_hw
+
+(* Known-answer values computed from the reference C implementations
+   (djb2: h = h*33 + c from 5381; sdbm: c + (h<<6) + (h<<16) - h;
+   FNV-1a 64-bit). *)
+let test_djb2_known () =
+  Alcotest.(check int64) "empty" 5381L (Hash.hash_string Hash.Djb2 "");
+  Alcotest.(check int64) "a" (Int64.add (Int64.mul 5381L 33L) 97L)
+    (Hash.hash_string Hash.Djb2 "a");
+  (* djb2("hello") computed stepwise *)
+  let expect =
+    List.fold_left
+      (fun h c -> Int64.add (Int64.mul h 33L) (Int64.of_int (Char.code c)))
+      5381L [ 'h'; 'e'; 'l'; 'l'; 'o' ]
+  in
+  Alcotest.(check int64) "hello" expect (Hash.hash_string Hash.Djb2 "hello")
+
+let test_fnv1a_known () =
+  Alcotest.(check int64) "empty is offset basis" 0xcbf29ce484222325L
+    (Hash.hash_string Hash.Fnv1a "");
+  (* FNV-1a 64 of "a" is a published constant. *)
+  Alcotest.(check int64) "a" 0xaf63dc4c8601ec8cL (Hash.hash_string Hash.Fnv1a "a")
+
+let test_sdbm_zero_start () =
+  Alcotest.(check int64) "empty" 0L (Hash.hash_string Hash.Sdbm "");
+  Alcotest.(check int64) "single byte" 97L (Hash.hash_string Hash.Sdbm "a")
+
+let test_algos_differ () =
+  let s = "the quick brown fox" in
+  let h1 = Hash.hash_string Hash.Djb2 s in
+  let h2 = Hash.hash_string Hash.Sdbm s in
+  let h3 = Hash.hash_string Hash.Fnv1a s in
+  Alcotest.(check bool) "djb2 <> sdbm" false (Int64.equal h1 h2);
+  Alcotest.(check bool) "djb2 <> fnv" false (Int64.equal h1 h3)
+
+let test_single_bit_sensitivity () =
+  List.iter
+    (fun algo ->
+      let a = Hash.hash_string algo "abcdefgh" in
+      let b = Hash.hash_string algo "abcdefgi" in
+      if Int64.equal a b then
+        Alcotest.failf "%s missed a one-byte change" (Hash.algo_to_string algo))
+    Hash.all_algos
+
+let test_streaming_matches_whole () =
+  List.iter
+    (fun algo ->
+      let s = "stream me in pieces" in
+      let whole = Hash.hash_string algo s in
+      let stepped =
+        String.fold_left (fun h c -> Hash.step algo h (Char.code c)) (Hash.init algo) s
+      in
+      Alcotest.(check int64) (Hash.algo_to_string algo) whole stepped)
+    Hash.all_algos
+
+let test_hash_region_matches_string () =
+  let m = Memory.create ~size:1024 in
+  Memory.write_string m ~world:World.Normal ~addr:100 "region contents";
+  List.iter
+    (fun algo ->
+      Alcotest.(check int64)
+        (Hash.algo_to_string algo)
+        (Hash.hash_string algo "region contents")
+        (Hash.hash_region algo m ~world:World.Secure ~addr:100 ~len:15))
+    Hash.all_algos
+
+let test_hash_bytes_matches_string () =
+  let b = Bytes.of_string "bytes" in
+  Alcotest.(check int64) "bytes = string" (Hash.hash_string Hash.Djb2 "bytes")
+    (Hash.hash_bytes Hash.Djb2 b)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"hash deterministic" QCheck.string (fun s ->
+      List.for_all
+        (fun algo ->
+          Int64.equal (Hash.hash_string algo s) (Hash.hash_string algo s))
+        Hash.all_algos)
+
+let prop_concat_streaming =
+  QCheck.Test.make ~name:"hash(a^b) = resume(hash a, b)"
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      List.for_all
+        (fun algo ->
+          let whole = Hash.hash_string algo (a ^ b) in
+          let resumed =
+            String.fold_left
+              (fun h c -> Hash.step algo h (Char.code c))
+              (Hash.hash_string algo a) b
+          in
+          Int64.equal whole resumed)
+        Hash.all_algos)
+
+let suite =
+  [
+    Alcotest.test_case "djb2 known answers" `Quick test_djb2_known;
+    Alcotest.test_case "fnv1a known answers" `Quick test_fnv1a_known;
+    Alcotest.test_case "sdbm basics" `Quick test_sdbm_zero_start;
+    Alcotest.test_case "algos differ" `Quick test_algos_differ;
+    Alcotest.test_case "single-bit sensitivity" `Quick test_single_bit_sensitivity;
+    Alcotest.test_case "streaming matches whole" `Quick test_streaming_matches_whole;
+    Alcotest.test_case "hash_region" `Quick test_hash_region_matches_string;
+    Alcotest.test_case "hash_bytes" `Quick test_hash_bytes_matches_string;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    QCheck_alcotest.to_alcotest prop_concat_streaming;
+  ]

@@ -1,0 +1,200 @@
+(* CPU, GIC, timer, monitor, and platform assembly tests. *)
+
+open Satin_hw
+open Satin_engine
+
+let juno () = Platform.juno_r1 ~seed:7 ()
+
+let test_juno_shape () =
+  let p = juno () in
+  Alcotest.(check int) "six cores" 6 (Platform.ncores p);
+  Alcotest.(check int) "four LITTLE" 4
+    (List.length (Platform.cores_of_type p Cycle_model.A53));
+  Alcotest.(check int) "two big" 2
+    (List.length (Platform.cores_of_type p Cycle_model.A57));
+  Alcotest.(check int) "core ids" 3 (Cpu.id (Platform.core p 3));
+  Alcotest.(check bool) "all boot in normal world" true
+    (Array.for_all (fun c -> not (Cpu.in_secure c)) p.Platform.cores)
+
+let test_cpu_world_accounting () =
+  let p = juno () in
+  let c = Platform.core p 0 in
+  let engine = p.Platform.engine in
+  Cpu.set_world c World.Secure;
+  Alcotest.(check int) "one entry" 1 (Cpu.secure_entries c);
+  Engine.run_until engine (Sim_time.ms 3);
+  Cpu.set_world c World.Normal;
+  Alcotest.(check int) "secure time" (Sim_time.ms 3) (Cpu.secure_time_total c);
+  Alcotest.(check (option int)) "exit time" (Some (Sim_time.ms 3)) (Cpu.last_exit_time c);
+  (* Redundant transition is a no-op. *)
+  Cpu.set_world c World.Normal;
+  Alcotest.(check int) "still one entry" 1 (Cpu.secure_entries c)
+
+let test_cpu_hooks () =
+  let p = juno () in
+  let c = Platform.core p 1 in
+  let log = ref [] in
+  Cpu.on_world_change c (fun _ w -> log := ("first", w) :: !log);
+  Cpu.on_world_change c (fun _ w -> log := ("second", w) :: !log);
+  Cpu.set_world c World.Secure;
+  Alcotest.(check int) "both hooks" 2 (List.length !log);
+  (match List.rev !log with
+  | ("first", World.Secure) :: ("second", World.Secure) :: _ -> ()
+  | _ -> Alcotest.fail "registration order not preserved")
+
+let test_gic_secure_always_delivered () =
+  let p = juno () in
+  let hits = ref 0 in
+  Gic.set_secure_handler p.Platform.gic ~irq:Platform.secure_timer_irq
+    (fun ~core:_ -> incr hits);
+  (* Even when the core is in the normal world. *)
+  Gic.raise_irq p.Platform.gic ~core:0 ~world_of_core:World.Normal
+    ~irq:Platform.secure_timer_irq;
+  Gic.raise_irq p.Platform.gic ~core:0 ~world_of_core:World.Secure
+    ~irq:Platform.secure_timer_irq;
+  Alcotest.(check int) "secure irq always routed" 2 !hits
+
+let test_gic_ns_pends_while_secure () =
+  let p = juno () in
+  let hits = ref 0 in
+  Gic.set_normal_handler p.Platform.gic ~irq:Platform.tick_irq (fun ~core:_ -> incr hits);
+  Gic.raise_irq p.Platform.gic ~core:2 ~world_of_core:World.Secure ~irq:Platform.tick_irq;
+  Alcotest.(check int) "pended" 0 !hits;
+  Alcotest.(check int) "pending count" 1 (Gic.pending_count p.Platform.gic ~core:2);
+  Gic.flush_pending p.Platform.gic ~core:2
+    ~world_of_core:(fun () -> Cpu.world (Platform.core p 2));
+  Alcotest.(check int) "delivered on flush" 1 !hits;
+  Alcotest.(check int) "drained" 0 (Gic.pending_count p.Platform.gic ~core:2);
+  Gic.raise_irq p.Platform.gic ~core:2 ~world_of_core:World.Normal ~irq:Platform.tick_irq;
+  Alcotest.(check int) "direct delivery in normal world" 2 !hits;
+  Alcotest.(check int) "delivery counter" 2
+    (Gic.delivered_count p.Platform.gic ~irq:Platform.tick_irq)
+
+let test_gic_undeclared_rejected () =
+  let p = juno () in
+  try
+    Gic.raise_irq p.Platform.gic ~core:0 ~world_of_core:World.Normal ~irq:99;
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_timer_fires_at_deadline () =
+  let p = juno () in
+  let fired_at = ref (-1) in
+  Gic.set_secure_handler p.Platform.gic ~irq:Platform.secure_timer_irq
+    (fun ~core:_ -> fired_at := Engine.now p.Platform.engine);
+  Timer.arm_at p.Platform.secure_timers.(0) (Sim_time.ms 10);
+  Alcotest.(check bool) "armed" true (Timer.armed p.Platform.secure_timers.(0));
+  Engine.run_until p.Platform.engine (Sim_time.ms 20);
+  Alcotest.(check int) "fired at deadline" (Sim_time.ms 10) !fired_at;
+  Alcotest.(check bool) "disarmed after fire" false
+    (Timer.armed p.Platform.secure_timers.(0));
+  Alcotest.(check int) "fired count" 1 (Timer.fired_count p.Platform.secure_timers.(0))
+
+let test_timer_rearm_replaces () =
+  let p = juno () in
+  let fires = ref [] in
+  Gic.set_secure_handler p.Platform.gic ~irq:Platform.secure_timer_irq
+    (fun ~core:_ -> fires := Engine.now p.Platform.engine :: !fires);
+  let t = p.Platform.secure_timers.(1) in
+  Timer.arm_at t (Sim_time.ms 10);
+  Timer.arm_at t (Sim_time.ms 30);
+  Engine.run_until p.Platform.engine (Sim_time.ms 50);
+  Alcotest.(check (list int)) "only the re-armed deadline" [ Sim_time.ms 30 ] !fires
+
+let test_timer_disarm () =
+  let p = juno () in
+  let fires = ref 0 in
+  Gic.set_secure_handler p.Platform.gic ~irq:Platform.secure_timer_irq
+    (fun ~core:_ -> incr fires);
+  let t = p.Platform.secure_timers.(2) in
+  Timer.arm_after t (Sim_time.ms 5);
+  Timer.disarm t;
+  Engine.run_until p.Platform.engine (Sim_time.ms 50);
+  Alcotest.(check int) "never fires" 0 !fires;
+  Alcotest.(check bool) "no deadline" true (Timer.deadline t = None)
+
+let test_timer_past_deadline_fires_now () =
+  let p = juno () in
+  Engine.run_until p.Platform.engine (Sim_time.ms 100);
+  let fired_at = ref (-1) in
+  Gic.set_secure_handler p.Platform.gic ~irq:Platform.secure_timer_irq
+    (fun ~core:_ -> fired_at := Engine.now p.Platform.engine);
+  Timer.arm_at p.Platform.secure_timers.(0) (Sim_time.ms 50);
+  Engine.run_until p.Platform.engine (Sim_time.ms 200);
+  Alcotest.(check int) "clamped to now" (Sim_time.ms 100) !fired_at
+
+let test_monitor_world_switch () =
+  let p = juno () in
+  let cpu = Platform.core p 4 in
+  let payload_ran_at = ref (-1) in
+  let exited_at = ref (-1) in
+  Monitor.enter_secure p.Platform.monitor ~cpu
+    ~payload:(fun () ->
+      payload_ran_at := Engine.now p.Platform.engine;
+      Alcotest.(check bool) "in secure during payload" true (Cpu.in_secure cpu);
+      Sim_time.ms 2)
+    ~on_exit:(fun () -> exited_at := Engine.now p.Platform.engine)
+    ();
+  Alcotest.(check bool) "secure immediately" true (Cpu.in_secure cpu);
+  Engine.run_until p.Platform.engine (Sim_time.ms 10);
+  Alcotest.(check bool) "back to normal" false (Cpu.in_secure cpu);
+  (* Entry latency within the calibrated switch triple. *)
+  let entry = Sim_time.to_sec_f !payload_ran_at in
+  if entry < 2.38e-6 || entry > 3.60e-6 then
+    Alcotest.failf "entry latency out of calibration: %g" entry;
+  let total = Sim_time.to_sec_f !exited_at in
+  if total < 2.0e-3 then Alcotest.fail "exit before payload duration";
+  Alcotest.(check int) "round trips" 1 (Monitor.switches p.Platform.monitor)
+
+let test_monitor_rejects_reentry () =
+  let p = juno () in
+  let cpu = Platform.core p 0 in
+  Monitor.enter_secure p.Platform.monitor ~cpu ~payload:(fun () -> Sim_time.ms 5) ();
+  try
+    Monitor.enter_secure p.Platform.monitor ~cpu ~payload:(fun () -> Sim_time.zero) ();
+    Alcotest.fail "expected reentry rejection"
+  with Invalid_argument _ -> ()
+
+let test_monitor_flushes_pended_irqs () =
+  let p = juno () in
+  let cpu = Platform.core p 3 in
+  let tick_hits = ref [] in
+  Gic.set_normal_handler p.Platform.gic ~irq:Platform.tick_irq
+    (fun ~core -> tick_hits := (core, Engine.now p.Platform.engine) :: !tick_hits);
+  Monitor.enter_secure p.Platform.monitor ~cpu ~payload:(fun () -> Sim_time.ms 4) ();
+  (* A tick raised mid-introspection pends... *)
+  Engine.run_until p.Platform.engine (Sim_time.ms 1);
+  Gic.raise_irq p.Platform.gic ~core:3 ~world_of_core:(Cpu.world cpu)
+    ~irq:Platform.tick_irq;
+  Alcotest.(check int) "pended during secure" 0 (List.length !tick_hits);
+  (* ...and is delivered right at world exit. *)
+  Engine.run_until p.Platform.engine (Sim_time.ms 10);
+  (match !tick_hits with
+  | [ (core, time) ] ->
+      Alcotest.(check int) "delivered on this core" 3 core;
+      Alcotest.(check bool) "after payload end" true (time >= Sim_time.ms 4)
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l))
+
+let test_split_prng_independent () =
+  let p = juno () in
+  let a = Platform.split_prng p and b = Platform.split_prng p in
+  Alcotest.(check bool) "different streams" false
+    (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b))
+
+let suite =
+  [
+    Alcotest.test_case "juno shape" `Quick test_juno_shape;
+    Alcotest.test_case "cpu world accounting" `Quick test_cpu_world_accounting;
+    Alcotest.test_case "cpu hooks" `Quick test_cpu_hooks;
+    Alcotest.test_case "gic secure always delivered" `Quick test_gic_secure_always_delivered;
+    Alcotest.test_case "gic ns pends in secure" `Quick test_gic_ns_pends_while_secure;
+    Alcotest.test_case "gic undeclared rejected" `Quick test_gic_undeclared_rejected;
+    Alcotest.test_case "timer fires at deadline" `Quick test_timer_fires_at_deadline;
+    Alcotest.test_case "timer rearm replaces" `Quick test_timer_rearm_replaces;
+    Alcotest.test_case "timer disarm" `Quick test_timer_disarm;
+    Alcotest.test_case "timer past deadline" `Quick test_timer_past_deadline_fires_now;
+    Alcotest.test_case "monitor world switch" `Quick test_monitor_world_switch;
+    Alcotest.test_case "monitor rejects reentry" `Quick test_monitor_rejects_reentry;
+    Alcotest.test_case "monitor flushes pended irqs" `Quick test_monitor_flushes_pended_irqs;
+    Alcotest.test_case "split prng" `Quick test_split_prng_independent;
+  ]

@@ -1,0 +1,86 @@
+(* Syscall table and exception vector table. *)
+
+open Satin_kernel
+open Satin_hw
+
+let setup () =
+  let memory = Memory.create ~size:(32 * 1024 * 1024) in
+  let layout = Layout.paper_layout () in
+  ignore (Layout.install layout memory ~seed:1);
+  memory, layout
+
+let test_entry_addr () =
+  let memory, layout = setup () in
+  let tbl = Syscall_table.create memory layout in
+  Alcotest.(check int) "entries" 400 (Syscall_table.entries tbl);
+  let base = (Layout.syscall_table layout).Layout.sym_addr in
+  Alcotest.(check int) "entry 0" base (Syscall_table.entry_addr tbl 0);
+  Alcotest.(check int) "entry 178" (base + (178 * 8)) (Syscall_table.entry_addr tbl 178);
+  Alcotest.(check int) "gettid addr" (base + (178 * 8)) (Syscall_table.gettid_addr tbl);
+  (try
+     ignore (Syscall_table.entry_addr tbl 400);
+     Alcotest.fail "out of range accepted"
+   with Invalid_argument _ -> ())
+
+let test_entry_roundtrip () =
+  let memory, layout = setup () in
+  let tbl = Syscall_table.create memory layout in
+  Syscall_table.write_entry tbl ~world:World.Normal 7 0x1122334455667788L;
+  Alcotest.(check int64) "roundtrip" 0x1122334455667788L
+    (Syscall_table.read_entry tbl ~world:World.Normal 7);
+  (* Little-endian layout in memory. *)
+  Alcotest.(check int) "LSB first" 0x88
+    (Memory.read_byte memory ~world:World.Normal ~addr:(Syscall_table.entry_addr tbl 7))
+
+let test_vector_hijack_restore () =
+  let memory, layout = setup () in
+  let vt = Vector_table.create memory layout in
+  Alcotest.(check int) "irq vector offset" 0x280 Vector_table.irq_el1_offset;
+  Alcotest.(check int) "irq vector addr" (Vector_table.base vt + 0x280)
+    (Vector_table.irq_vector_addr vt);
+  Alcotest.(check bool) "pristine" false (Vector_table.irq_hijacked vt);
+  let original =
+    Memory.read_bytes memory ~world:World.Secure ~addr:(Vector_table.irq_vector_addr vt)
+      ~len:8
+  in
+  Vector_table.hijack_irq vt ~world:World.Normal;
+  Alcotest.(check bool) "hijacked" true (Vector_table.irq_hijacked vt);
+  Alcotest.(check bool) "bytes changed" false
+    (Bytes.equal original
+       (Memory.read_bytes memory ~world:World.Secure
+          ~addr:(Vector_table.irq_vector_addr vt) ~len:8));
+  Vector_table.restore_irq vt ~world:World.Normal;
+  Alcotest.(check bool) "restored" false (Vector_table.irq_hijacked vt);
+  Alcotest.(check bool) "bytes back" true
+    (Bytes.equal original
+       (Memory.read_bytes memory ~world:World.Secure
+          ~addr:(Vector_table.irq_vector_addr vt) ~len:8))
+
+let test_vector_hijack_idempotent () =
+  let memory, layout = setup () in
+  let vt = Vector_table.create memory layout in
+  let original =
+    Memory.read_bytes memory ~world:World.Secure ~addr:(Vector_table.irq_vector_addr vt)
+      ~len:8
+  in
+  Vector_table.hijack_irq vt ~world:World.Normal;
+  Vector_table.hijack_irq vt ~world:World.Normal;
+  Vector_table.restore_irq vt ~world:World.Normal;
+  Alcotest.(check bool) "double hijack keeps original" true
+    (Bytes.equal original
+       (Memory.read_bytes memory ~world:World.Secure
+          ~addr:(Vector_table.irq_vector_addr vt) ~len:8))
+
+let test_restore_without_hijack_noop () =
+  let memory, layout = setup () in
+  let vt = Vector_table.create memory layout in
+  Vector_table.restore_irq vt ~world:World.Normal (* must not raise *)
+
+let suite =
+  [
+    Alcotest.test_case "entry addressing" `Quick test_entry_addr;
+    Alcotest.test_case "entry roundtrip" `Quick test_entry_roundtrip;
+    Alcotest.test_case "vector hijack/restore" `Quick test_vector_hijack_restore;
+    Alcotest.test_case "hijack idempotent" `Quick test_vector_hijack_idempotent;
+    Alcotest.test_case "restore noop" `Quick test_restore_without_hijack_noop;
+  ]

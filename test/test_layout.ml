@@ -1,0 +1,122 @@
+open Satin_kernel
+open Satin_hw
+
+let layout = Layout.paper_layout ()
+
+let test_paper_dimensions () =
+  Alcotest.(check int) "total" 11_916_240 (Layout.total_size layout);
+  let sizes = Layout.canonical_area_sizes layout in
+  Alcotest.(check int) "19 areas" 19 (List.length sizes);
+  Alcotest.(check int) "sum" 11_916_240 (List.fold_left ( + ) 0 sizes);
+  Alcotest.(check int) "largest" 876_616 (List.fold_left max 0 sizes);
+  Alcotest.(check int) "smallest" 431_360 (List.fold_left min max_int sizes)
+
+let test_symbols_tile_image () =
+  let syms = Layout.symbols layout in
+  let rec walk addr = function
+    | [] -> Alcotest.(check int) "ends at image end" (Layout.base layout + Layout.total_size layout) addr
+    | s :: rest ->
+        Alcotest.(check int) (Printf.sprintf "gap-free at %s" s.Layout.sym_name)
+          addr s.Layout.sym_addr;
+        if s.Layout.sym_size <= 0 then Alcotest.fail "non-positive symbol";
+        walk (s.Layout.sym_addr + s.Layout.sym_size) rest
+  in
+  walk (Layout.base layout) syms
+
+let test_symbol_names_unique () =
+  let syms = Layout.symbols layout in
+  let names = List.map (fun s -> s.Layout.sym_name) syms in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "unique names" (List.length names) (List.length sorted)
+
+let test_special_symbols () =
+  let tbl = Layout.syscall_table layout in
+  Alcotest.(check string) "syscall table" "sys_call_table" tbl.Layout.sym_name;
+  Alcotest.(check int) "400 entries x 8" 3200 tbl.Layout.sym_size;
+  Alcotest.(check int) "in area 14" 14 (Layout.area_index_of_addr layout tbl.Layout.sym_addr);
+  let vec = Layout.vector_table layout in
+  Alcotest.(check string) "vectors" "vectors" vec.Layout.sym_name;
+  Alcotest.(check int) "2 KiB" 2048 vec.Layout.sym_size;
+  Alcotest.(check int) "at image start" (Layout.base layout) vec.Layout.sym_addr;
+  Alcotest.(check int) "in area 0" 0 (Layout.area_index_of_addr layout vec.Layout.sym_addr)
+
+let test_area_index_boundaries () =
+  let base = Layout.base layout in
+  Alcotest.(check int) "first byte" 0 (Layout.area_index_of_addr layout base);
+  Alcotest.(check int) "last byte" 18
+    (Layout.area_index_of_addr layout (base + Layout.total_size layout - 1));
+  let first_size = List.hd (Layout.canonical_area_sizes layout) in
+  Alcotest.(check int) "area boundary" 1
+    (Layout.area_index_of_addr layout (base + first_size));
+  (try
+     ignore (Layout.area_index_of_addr layout (base - 1));
+     Alcotest.fail "below image accepted"
+   with Invalid_argument _ -> ())
+
+let test_find_symbol () =
+  let s = Layout.find_symbol layout "sys_call_table" in
+  Alcotest.(check bool) "found" true (s.Layout.sym_size = 3200);
+  try
+    ignore (Layout.find_symbol layout "no_such_symbol");
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let test_install_content () =
+  let memory = Memory.create ~size:(32 * 1024 * 1024) in
+  let region = Layout.install layout memory ~seed:0xBEEF in
+  Alcotest.(check string) "region name" "kernel_image" region.Memory.name;
+  Alcotest.(check int) "region size" (Layout.total_size layout) region.Memory.size;
+  (* Content is deterministic in the seed... *)
+  let m2 = Memory.create ~size:(32 * 1024 * 1024) in
+  ignore (Layout.install layout m2 ~seed:0xBEEF);
+  let a = Memory.read_bytes memory ~world:World.Secure ~addr:(Layout.base layout) ~len:4096 in
+  let b = Memory.read_bytes m2 ~world:World.Secure ~addr:(Layout.base layout) ~len:4096 in
+  Alcotest.(check bool) "deterministic" true (Bytes.equal a b);
+  (* ...and not all zero. *)
+  Alcotest.(check bool) "non-trivial" false
+    (Bytes.for_all (fun c -> c = '\000') a);
+  (* Syscall table entries look like kernel pointers. *)
+  let tbl = Syscall_table.create memory layout in
+  let e0 = Syscall_table.read_entry tbl ~world:World.Secure 0 in
+  Alcotest.(check int64) "entry 0" 0xffff000008080000L e0;
+  let e178 = Syscall_table.read_entry tbl ~world:World.Secure Layout.gettid_nr in
+  Alcotest.(check int64) "gettid entry"
+    (Int64.add 0xffff000008080000L (Int64.of_int (178 * 0x400)))
+    e178
+
+let test_synthetic_layout () =
+  let l = Layout.synthetic ~base:4096 ~total_size:1_000_000 ~areas:7 ~seed:3 in
+  let sizes = Layout.canonical_area_sizes l in
+  Alcotest.(check int) "area count" 7 (List.length sizes);
+  Alcotest.(check int) "sum" 1_000_000 (List.fold_left ( + ) 0 sizes);
+  List.iter (fun s -> if s <= 0 then Alcotest.fail "empty synthetic area") sizes;
+  (* special symbols exist *)
+  ignore (Layout.syscall_table l);
+  ignore (Layout.vector_table l)
+
+let prop_synthetic_valid =
+  QCheck.Test.make ~name:"synthetic layouts tile exactly" ~count:30
+    QCheck.(pair (int_range 2 12) (int_range 100_000 2_000_000))
+    (fun (areas, total) ->
+      let l = Layout.synthetic ~base:0 ~total_size:total ~areas ~seed:(areas + total) in
+      let sizes = Layout.canonical_area_sizes l in
+      List.length sizes = areas
+      && List.fold_left ( + ) 0 sizes = total
+      && List.for_all (fun s -> s > 0) sizes
+      &&
+      let syms = Layout.symbols l in
+      let sum = List.fold_left (fun acc s -> acc + s.Layout.sym_size) 0 syms in
+      sum = total)
+
+let suite =
+  [
+    Alcotest.test_case "paper dimensions" `Quick test_paper_dimensions;
+    Alcotest.test_case "symbols tile image" `Quick test_symbols_tile_image;
+    Alcotest.test_case "symbol names unique" `Quick test_symbol_names_unique;
+    Alcotest.test_case "special symbols" `Quick test_special_symbols;
+    Alcotest.test_case "area index boundaries" `Quick test_area_index_boundaries;
+    Alcotest.test_case "find symbol" `Quick test_find_symbol;
+    Alcotest.test_case "install content" `Quick test_install_content;
+    Alcotest.test_case "synthetic layout" `Quick test_synthetic_layout;
+    QCheck_alcotest.to_alcotest prop_synthetic_valid;
+  ]

@@ -1,0 +1,158 @@
+open Satin_hw
+
+let make () =
+  let m = Memory.create ~size:4096 in
+  let _ =
+    Memory.add_region m ~name:"ns" ~base:0 ~size:1024
+      ~security:Memory.Non_secure_region
+  in
+  let _ =
+    Memory.add_region m ~name:"sec" ~base:1024 ~size:1024
+      ~security:Memory.Secure_region
+  in
+  m
+
+let test_rw_roundtrip () =
+  let m = make () in
+  Memory.write_byte m ~world:World.Normal ~addr:10 0xAB;
+  Alcotest.(check int) "read back" 0xAB (Memory.read_byte m ~world:World.Normal ~addr:10);
+  Memory.write_byte m ~world:World.Secure ~addr:1030 0xCD;
+  Alcotest.(check int) "secure read back" 0xCD
+    (Memory.read_byte m ~world:World.Secure ~addr:1030)
+
+let test_byte_masking () =
+  let m = make () in
+  Memory.write_byte m ~world:World.Normal ~addr:0 0x1FF;
+  Alcotest.(check int) "masked to byte" 0xFF (Memory.read_byte m ~world:World.Normal ~addr:0)
+
+let test_normal_cannot_touch_secure () =
+  let m = make () in
+  let expect_violation f =
+    try
+      f ();
+      Alcotest.fail "expected Access_violation"
+    with Memory.Access_violation { region; _ } ->
+      Alcotest.(check string) "region named" "sec" region
+  in
+  expect_violation (fun () ->
+      ignore (Memory.read_byte m ~world:World.Normal ~addr:1500));
+  expect_violation (fun () -> Memory.write_byte m ~world:World.Normal ~addr:1500 1);
+  expect_violation (fun () ->
+      ignore (Memory.read_bytes m ~world:World.Normal ~addr:1000 ~len:100));
+  expect_violation (fun () ->
+      Memory.write_string m ~world:World.Normal ~addr:1020 "12345678")
+
+let test_secure_can_touch_everything () =
+  let m = make () in
+  Memory.write_byte m ~world:World.Secure ~addr:10 1;
+  Memory.write_byte m ~world:World.Secure ~addr:1500 2;
+  Alcotest.(check int) "ns" 1 (Memory.read_byte m ~world:World.Secure ~addr:10);
+  Alcotest.(check int) "sec" 2 (Memory.read_byte m ~world:World.Secure ~addr:1500)
+
+let test_unmapped_is_non_secure () =
+  let m = make () in
+  Memory.write_byte m ~world:World.Normal ~addr:3000 7;
+  Alcotest.(check int) "plain dram" 7 (Memory.read_byte m ~world:World.Normal ~addr:3000)
+
+let test_bad_address () =
+  let m = make () in
+  Alcotest.check_raises "negative" (Memory.Bad_address (-1)) (fun () ->
+      ignore (Memory.read_byte m ~world:World.Secure ~addr:(-1)));
+  Alcotest.check_raises "beyond end" (Memory.Bad_address 4096) (fun () ->
+      ignore (Memory.read_byte m ~world:World.Secure ~addr:4096))
+
+let test_region_overlap_rejected () =
+  let m = make () in
+  (try
+     ignore
+       (Memory.add_region m ~name:"bad" ~base:512 ~size:1024
+          ~security:Memory.Non_secure_region);
+     Alcotest.fail "expected overlap rejection"
+   with Invalid_argument _ -> ())
+
+let test_region_of_addr () =
+  let m = make () in
+  (match Memory.region_of_addr m 1100 with
+  | Some r -> Alcotest.(check string) "secure region" "sec" r.Memory.name
+  | None -> Alcotest.fail "missing region");
+  Alcotest.(check bool) "unmapped" true (Memory.region_of_addr m 3000 = None)
+
+let test_regions_sorted () =
+  let m = make () in
+  Alcotest.(check (list string)) "sorted by base" [ "ns"; "sec" ]
+    (List.map (fun r -> r.Memory.name) (Memory.regions m))
+
+let test_write_string_and_read_bytes () =
+  let m = make () in
+  Memory.write_string m ~world:World.Normal ~addr:100 "hello";
+  Alcotest.(check string) "snapshot" "hello"
+    (Bytes.to_string (Memory.read_bytes m ~world:World.Normal ~addr:100 ~len:5))
+
+let test_fold_range () =
+  let m = make () in
+  Memory.write_string m ~world:World.Normal ~addr:0 "\x01\x02\x03";
+  let sum =
+    Memory.fold_range m ~world:World.Normal ~addr:0 ~len:3 ~init:0 ~f:( + )
+  in
+  Alcotest.(check int) "fold sum" 6 sum
+
+let test_range_straddling_secure_rejected () =
+  let m = make () in
+  (* Range starting in ns memory but crossing into the secure region. *)
+  try
+    ignore (Memory.read_bytes m ~world:World.Normal ~addr:1000 ~len:48);
+    Alcotest.fail "expected violation"
+  with Memory.Access_violation _ -> ()
+
+let test_blit_within () =
+  let m = make () in
+  Memory.write_string m ~world:World.Normal ~addr:0 "abcd";
+  Memory.blit_within m ~world:World.Normal ~src:0 ~dst:100 ~len:4;
+  Alcotest.(check string) "copied" "abcd"
+    (Bytes.to_string (Memory.read_bytes m ~world:World.Normal ~addr:100 ~len:4))
+
+let test_write_watcher () =
+  let m = make () in
+  let hits = ref [] in
+  let w = Memory.add_write_watcher m (fun ~addr ~len -> hits := (addr, len) :: !hits) in
+  Memory.write_byte m ~world:World.Normal ~addr:5 1;
+  Memory.write_string m ~world:World.Normal ~addr:10 "xy";
+  Alcotest.(check (list (pair int int))) "watched" [ (5, 1); (10, 2) ] (List.rev !hits);
+  Memory.remove_write_watcher m w;
+  Memory.write_byte m ~world:World.Normal ~addr:5 2;
+  Alcotest.(check int) "removed watcher silent" 2 (List.length !hits)
+
+let test_watcher_not_fired_on_read () =
+  let m = make () in
+  let hits = ref 0 in
+  ignore (Memory.add_write_watcher m (fun ~addr:_ ~len:_ -> incr hits));
+  ignore (Memory.read_bytes m ~world:World.Normal ~addr:0 ~len:16);
+  Alcotest.(check int) "reads silent" 0 !hits
+
+let prop_rw_any_byte =
+  QCheck.Test.make ~name:"write/read any ns byte"
+    QCheck.(pair (int_bound 1023) (int_bound 255))
+    (fun (addr, v) ->
+      let m = make () in
+      Memory.write_byte m ~world:World.Normal ~addr v;
+      Memory.read_byte m ~world:World.Normal ~addr = v)
+
+let suite =
+  [
+    Alcotest.test_case "rw roundtrip" `Quick test_rw_roundtrip;
+    Alcotest.test_case "byte masking" `Quick test_byte_masking;
+    Alcotest.test_case "normal blocked from secure" `Quick test_normal_cannot_touch_secure;
+    Alcotest.test_case "secure sees all" `Quick test_secure_can_touch_everything;
+    Alcotest.test_case "unmapped is non-secure" `Quick test_unmapped_is_non_secure;
+    Alcotest.test_case "bad address" `Quick test_bad_address;
+    Alcotest.test_case "overlap rejected" `Quick test_region_overlap_rejected;
+    Alcotest.test_case "region_of_addr" `Quick test_region_of_addr;
+    Alcotest.test_case "regions sorted" `Quick test_regions_sorted;
+    Alcotest.test_case "write_string/read_bytes" `Quick test_write_string_and_read_bytes;
+    Alcotest.test_case "fold_range" `Quick test_fold_range;
+    Alcotest.test_case "straddling range rejected" `Quick test_range_straddling_secure_rejected;
+    Alcotest.test_case "blit_within" `Quick test_blit_within;
+    Alcotest.test_case "write watcher" `Quick test_write_watcher;
+    Alcotest.test_case "watcher ignores reads" `Quick test_watcher_not_fired_on_read;
+    QCheck_alcotest.to_alcotest prop_rw_any_byte;
+  ]

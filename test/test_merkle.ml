@@ -1,0 +1,102 @@
+open Satin_introspect
+open Satin_hw
+
+let setup ?(len = 64 * 1024) () =
+  let memory = Memory.create ~size:(1024 * 1024) in
+  let base = 4096 in
+  for i = 0 to (len / 256) - 1 do
+    Memory.write_string memory ~world:World.Secure ~addr:(base + (i * 256))
+      (String.init 256 (fun j -> Char.chr ((i + j) land 0xff)))
+  done;
+  memory, base, len
+
+let test_build_shape () =
+  let memory, base, len = setup () in
+  let t = Merkle.build Hash.Djb2 memory ~base ~len in
+  Alcotest.(check int) "16 pages" 16 (Merkle.pages t);
+  Alcotest.(check int) "page size" 4096 (Merkle.page_size t);
+  Alcotest.(check int) "footprint = 8B x (2*16-1)" (8 * 31) (Merkle.secure_bytes t);
+  Alcotest.(check bool) "verifies clean" true (Merkle.verify_root t memory);
+  Alcotest.(check (list int)) "no dirty pages" [] (Merkle.dirty_pages t memory)
+
+let test_non_pow2_and_short_tail () =
+  let memory, base, _ = setup ~len:(10 * 4096) () in
+  (* 10 pages + a 100-byte tail page = 11 leaves, padded to 16. *)
+  let t = Merkle.build Hash.Djb2 memory ~base ~len:((10 * 4096) + 100) in
+  Alcotest.(check int) "11 pages" 11 (Merkle.pages t);
+  Alcotest.(check bool) "verifies" true (Merkle.verify_root t memory);
+  (* Tampering inside the short tail is caught. *)
+  Memory.write_byte memory ~world:World.Normal ~addr:(base + (10 * 4096) + 50) 0xAA;
+  Alcotest.(check (list int)) "tail page dirty" [ 10 ] (Merkle.dirty_pages t memory)
+
+let test_detects_and_pinpoints () =
+  let memory, base, len = setup () in
+  let t = Merkle.build Hash.Djb2 memory ~base ~len in
+  Memory.write_byte memory ~world:World.Normal ~addr:(base + (5 * 4096) + 7) 0xEE;
+  Memory.write_byte memory ~world:World.Normal ~addr:(base + (12 * 4096)) 0xEE;
+  Alcotest.(check bool) "root mismatch" false (Merkle.verify_root t memory);
+  Alcotest.(check (list int)) "pages pinpointed" [ 5; 12 ] (Merkle.dirty_pages t memory)
+
+let test_update_page_absorbs_change () =
+  let memory, base, len = setup () in
+  let t = Merkle.build Hash.Djb2 memory ~base ~len in
+  Memory.write_byte memory ~world:World.Normal ~addr:(base + (3 * 4096)) 0x11;
+  Alcotest.(check bool) "dirty before" false (Merkle.verify_root t memory);
+  Merkle.update_page t memory ~page:3;
+  Alcotest.(check bool) "clean after authorized update" true
+    (Merkle.verify_root t memory);
+  Alcotest.(check (list int)) "no dirty pages" [] (Merkle.dirty_pages t memory)
+
+let test_update_cost_logarithmic () =
+  let memory, base, _ = setup ~len:(16 * 4096) () in
+  let t = Merkle.build Hash.Djb2 memory ~base ~len:(16 * 4096) in
+  Alcotest.(check int) "no rehashes yet" 0 (Merkle.node_rehashes t);
+  Merkle.update_page t memory ~page:9;
+  (* 16 leaves -> depth 4 internal rehashes. *)
+  Alcotest.(check int) "log2(16) path rehashes" 4 (Merkle.node_rehashes t)
+
+let test_bad_page_rejected () =
+  let memory, base, len = setup () in
+  let t = Merkle.build Hash.Djb2 memory ~base ~len in
+  try
+    Merkle.update_page t memory ~page:16;
+    Alcotest.fail "bad page accepted"
+  with Invalid_argument _ -> ()
+
+let test_footprint_vs_golden () =
+  (* The headline saving: the paper-sized image needs ~12 MB of golden
+     content but < 50 KB of tree. *)
+  let layout = Satin_kernel.Layout.paper_layout () in
+  let memory = Memory.create ~size:(32 * 1024 * 1024) in
+  ignore (Satin_kernel.Layout.install layout memory ~seed:1);
+  let t =
+    Merkle.build Hash.Djb2 memory
+      ~base:(Satin_kernel.Layout.base layout)
+      ~len:(Satin_kernel.Layout.total_size layout)
+  in
+  Alcotest.(check bool) "under 64 KiB" true (Merkle.secure_bytes t < 65_536);
+  Alcotest.(check bool) "clean" true (Merkle.verify_root t memory)
+
+let prop_tamper_always_pinpointed =
+  QCheck.Test.make ~name:"any single-byte tamper lands in exactly its page"
+    ~count:40
+    QCheck.(int_bound ((16 * 4096) - 1))
+    (fun off ->
+      let memory, base, len = setup () in
+      let t = Merkle.build Hash.Djb2 memory ~base ~len in
+      let before = Memory.read_byte memory ~world:World.Normal ~addr:(base + off) in
+      Memory.write_byte memory ~world:World.Normal ~addr:(base + off)
+        ((before + 1) land 0xff);
+      Merkle.dirty_pages t memory = [ off / 4096 ])
+
+let suite =
+  [
+    Alcotest.test_case "build shape" `Quick test_build_shape;
+    Alcotest.test_case "non-pow2 + short tail" `Quick test_non_pow2_and_short_tail;
+    Alcotest.test_case "detects and pinpoints" `Quick test_detects_and_pinpoints;
+    Alcotest.test_case "authorized update" `Quick test_update_page_absorbs_change;
+    Alcotest.test_case "O(log n) update" `Quick test_update_cost_logarithmic;
+    Alcotest.test_case "bad page rejected" `Quick test_bad_page_rejected;
+    Alcotest.test_case "footprint vs golden copy" `Quick test_footprint_vs_golden;
+    QCheck_alcotest.to_alcotest prop_tamper_always_pinpointed;
+  ]

@@ -1,0 +1,329 @@
+(* Scheduler semantics: RT preemption, CFS fairness, affinity, world pauses. *)
+
+open Satin_kernel
+open Satin_hw
+open Satin_engine
+
+let boot () =
+  let platform = Platform.juno_r1 ~seed:11 () in
+  Kernel.boot platform
+
+let engine kernel = kernel.Kernel.platform.Platform.engine
+let run kernel d = Engine.run_until (engine kernel) (Sim_time.add (Engine.now (engine kernel)) d)
+
+let cpu_hog ?affinity name =
+  Task.create ~name ~policy:Task.Cfs ?affinity
+    ~body:(fun _ -> { Task.cpu = Sim_time.ms 1; after = (fun () -> Task.Reenter) })
+    ()
+
+let test_spawn_and_run () =
+  let k = boot () in
+  let units = ref 0 in
+  let t =
+    Task.create ~name:"worker" ~policy:Task.Cfs ~affinity:0
+      ~body:(fun _ ->
+        { Task.cpu = Sim_time.ms 1; after = (fun () -> incr units; Task.Reenter) })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 100);
+  Alcotest.(check int) "~100 units in 100ms alone" 100 !units
+
+let test_double_spawn_rejected () =
+  let k = boot () in
+  let t = cpu_hog "dup" in
+  Kernel.spawn k t;
+  try
+    Kernel.spawn k t;
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_bad_affinity_rejected () =
+  let k = boot () in
+  try
+    Kernel.spawn k (cpu_hog ~affinity:17 "bad");
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_cfs_fairness_two_hogs () =
+  let k = boot () in
+  let a = cpu_hog ~affinity:1 "a" and b = cpu_hog ~affinity:1 "b" in
+  Kernel.spawn k a;
+  Kernel.spawn k b;
+  run k (Sim_time.s 1);
+  let ca = Sim_time.to_sec_f (Task.cpu_time a)
+  and cb = Sim_time.to_sec_f (Task.cpu_time b) in
+  if Float.abs (ca -. cb) > 0.02 then Alcotest.failf "unfair: %.3f vs %.3f" ca cb;
+  if ca +. cb < 0.95 then Alcotest.failf "core underutilized: %.3f" (ca +. cb)
+
+let test_rt_preempts_cfs () =
+  let k = boot () in
+  let hog = cpu_hog ~affinity:2 "hog" in
+  Kernel.spawn k hog;
+  run k (Sim_time.ms 10);
+  let wake_latencies = ref [] in
+  let expected_wake = ref Sim_time.zero in
+  let rt =
+    Task.create ~name:"rt" ~policy:(Task.Rt_fifo 99) ~affinity:2
+      ~body:(fun _ ->
+        {
+          Task.cpu = Sim_time.us 10;
+          after =
+            (fun () ->
+              let now = Engine.now (engine k) in
+              if !expected_wake > Sim_time.zero then
+                wake_latencies :=
+                  Sim_time.diff now (Sim_time.add !expected_wake (Sim_time.us 10))
+                  :: !wake_latencies;
+              expected_wake := Sim_time.add now (Sim_time.ms 1);
+              Task.Sleep (Sim_time.ms 1));
+        })
+      ()
+  in
+  Kernel.spawn k rt;
+  run k (Sim_time.ms 200);
+  Alcotest.(check bool) "rt ran many times" true (List.length !wake_latencies > 100);
+  (* RT wakes must not wait for the CFS slice to end. *)
+  List.iter
+    (fun l ->
+      if l > Sim_time.us 50 then
+        Alcotest.failf "rt wake latency too high: %s" (Sim_time.to_string l))
+    !wake_latencies;
+  (* The hog still makes progress between RT bursts. *)
+  Alcotest.(check bool) "hog progressed" true
+    (Task.cpu_time hog > Sim_time.ms 150)
+
+let test_rt_priority_order () =
+  let k = boot () in
+  let order = ref [] in
+  let finished p = order := p :: !order in
+  (* Three RT tasks made runnable while the core is held in the secure
+     world: on release they must run in priority order. *)
+  Cpu.set_world (Platform.core k.Kernel.platform 3) World.Secure;
+  let make prio =
+    Task.create ~name:(Printf.sprintf "rt%d" prio) ~policy:(Task.Rt_fifo prio)
+      ~affinity:3
+      ~body:(fun _ ->
+        { Task.cpu = Sim_time.us 100; after = (fun () -> finished prio; Task.Exit) })
+      ()
+  in
+  Kernel.spawn k (make 10);
+  Kernel.spawn k (make 90);
+  Kernel.spawn k (make 50);
+  run k (Sim_time.ms 1);
+  Cpu.set_world (Platform.core k.Kernel.platform 3) World.Normal;
+  run k (Sim_time.ms 10);
+  Alcotest.(check (list int)) "highest priority first" [ 90; 50; 10 ] (List.rev !order)
+
+let test_pinned_task_stalls_when_core_secure () =
+  let k = boot () in
+  let t = cpu_hog ~affinity:4 "pinned" in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 50);
+  let before = Task.cpu_time t in
+  Cpu.set_world (Platform.core k.Kernel.platform 4) World.Secure;
+  run k (Sim_time.ms 50);
+  let during = Task.cpu_time t in
+  Alcotest.(check bool) "no progress while core secure" true
+    (Sim_time.diff during before < Sim_time.ms 2);
+  Cpu.set_world (Platform.core k.Kernel.platform 4) World.Normal;
+  run k (Sim_time.ms 50);
+  Alcotest.(check bool) "resumes after exit" true
+    (Sim_time.diff (Task.cpu_time t) during > Sim_time.ms 40)
+
+let test_unpinned_task_migrates_at_wake () =
+  let k = boot () in
+  let woke_on = ref [] in
+  let t =
+    Task.create ~name:"sleeper" ~policy:Task.Cfs
+      ~body:(fun task ->
+        {
+          Task.cpu = Sim_time.us 100;
+          after =
+            (fun () ->
+              woke_on := Task.assigned_core task :: !woke_on;
+              Task.Sleep (Sim_time.ms 10));
+        })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 25);
+  let home = match Task.assigned_core t with Some c -> c | None -> -1 in
+  (* Hold the home core in the secure world across several wake-ups. *)
+  Cpu.set_world (Platform.core k.Kernel.platform home) World.Secure;
+  run k (Sim_time.ms 50);
+  Cpu.set_world (Platform.core k.Kernel.platform home) World.Normal;
+  let cores_used = List.sort_uniq compare (List.filter_map Fun.id !woke_on) in
+  Alcotest.(check bool) "migrated off the stolen core" true
+    (List.length cores_used > 1)
+
+let test_sleep_wakes_on_time () =
+  let k = boot () in
+  let wakes = ref [] in
+  let t =
+    Task.create ~name:"timer" ~policy:(Task.Rt_fifo 50) ~affinity:5
+      ~body:(fun _ ->
+        {
+          Task.cpu = Sim_time.zero;
+          after =
+            (fun () ->
+              wakes := Engine.now (engine k) :: !wakes;
+              Task.Sleep (Sim_time.ms 10));
+        })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 45);
+  Alcotest.(check int) "five activations (incl. spawn)" 5 (List.length !wakes)
+
+let test_exit_removes_task () =
+  let k = boot () in
+  let t =
+    Task.create ~name:"one-shot" ~policy:Task.Cfs ~affinity:0
+      ~body:(fun _ -> { Task.cpu = Sim_time.us 100; after = (fun () -> Task.Exit) })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 10);
+  Alcotest.(check bool) "exited" true (Sched.exited t);
+  Alcotest.(check bool) "off the core" true (Sched.current k.Kernel.sched ~core:0 = None)
+
+let test_block_and_wake () =
+  let k = boot () in
+  let resumed = ref false in
+  let t =
+    Task.create ~name:"blocker" ~policy:Task.Cfs ~affinity:0
+      ~body:(fun task ->
+        if Task.dispatches task = 1 then
+          { Task.cpu = Sim_time.us 10; after = (fun () -> Task.Block) }
+        else { Task.cpu = Sim_time.us 10; after = (fun () -> resumed := true; Task.Exit) })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 10);
+  Alcotest.(check bool) "blocked, not resumed" false !resumed;
+  Kernel.wake k t;
+  run k (Sim_time.ms 10);
+  Alcotest.(check bool) "woken and finished" true !resumed
+
+let test_zero_cpu_livelock_guard () =
+  let k = boot () in
+  let t =
+    Task.create ~name:"livelock" ~policy:(Task.Rt_fifo 99) ~affinity:0
+      ~body:(fun _ -> { Task.cpu = Sim_time.zero; after = (fun () -> Task.Reenter) })
+      ()
+  in
+  try
+    Kernel.spawn k t;
+    run k (Sim_time.ms 1);
+    Alcotest.fail "livelock not caught"
+  with Invalid_argument _ -> ()
+
+
+let test_stale_sleep_timer_invalidated () =
+  (* A task woken early from a sleep and then sleeping again must not be
+     woken by the first sleep's leftover timer. *)
+  let k = boot () in
+  let activations = ref [] in
+  let t =
+    Task.create ~name:"napper" ~policy:(Task.Rt_fifo 50) ~affinity:1
+      ~body:(fun _ ->
+        {
+          Task.cpu = Sim_time.us 10;
+          after =
+            (fun () ->
+              activations := Engine.now (engine k) :: !activations;
+              Task.Sleep (Sim_time.ms 100));
+        })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.ms 10) (* first activation at ~0, sleeping until ~100ms *);
+  Kernel.wake k t (* woken early at 10ms; next sleep ends at ~110ms *);
+  run k (Sim_time.ms 85) (* t=95ms: the stale 100ms timer must NOT fire *);
+  Alcotest.(check int) "no spurious wake from the stale timer" 2
+    (List.length !activations);
+  run k (Sim_time.ms 30);
+  Alcotest.(check int) "legitimate wake at ~110ms" 3 (List.length !activations)
+
+let test_cfs_zero_cpu_livelock_guard () =
+  let k = boot () in
+  let t =
+    Task.create ~name:"cfs-livelock" ~policy:Task.Cfs ~affinity:2
+      ~body:(fun _ -> { Task.cpu = Sim_time.zero; after = (fun () -> Task.Reenter) })
+      ()
+  in
+  try
+    Kernel.spawn k t;
+    run k (Sim_time.ms 1);
+    Alcotest.fail "CFS zero-cpu livelock not caught"
+  with Invalid_argument _ -> ()
+
+let test_sleeper_preempts_hog_on_wake () =
+  (* Sleeper credit: an interactive CFS task waking after a long sleep
+     preempts a CPU hog promptly instead of waiting out its slice. *)
+  let k = boot () in
+  ignore (cpu_hog ~affinity:3 "hog3");
+  Kernel.spawn k (cpu_hog ~affinity:3 "hog3b");
+  let latencies = ref [] in
+  let expected = ref Sim_time.zero in
+  let t =
+    Task.create ~name:"interactive" ~policy:Task.Cfs ~affinity:3
+      ~body:(fun _ ->
+        {
+          Task.cpu = Sim_time.us 50;
+          after =
+            (fun () ->
+              let now = Engine.now (engine k) in
+              if !expected > Sim_time.zero then
+                latencies := Sim_time.diff now !expected :: !latencies;
+              expected := Sim_time.add now (Sim_time.ms 20);
+              Task.Sleep (Sim_time.ms 20));
+        })
+      ()
+  in
+  Kernel.spawn k t;
+  run k (Sim_time.s 1);
+  Alcotest.(check bool) "many activations" true (List.length !latencies > 30);
+  let worst = List.fold_left Sim_time.max Sim_time.zero !latencies in
+  if worst > Sim_time.ms 2 then
+    Alcotest.failf "wake-to-run latency too high under load: %s"
+      (Sim_time.to_string worst)
+
+let test_context_switch_counter () =
+  let k = boot () in
+  Kernel.spawn k (cpu_hog ~affinity:0 "x");
+  Kernel.spawn k (cpu_hog ~affinity:0 "y");
+  run k (Sim_time.ms 100);
+  Alcotest.(check bool) "switches counted" true (Sched.context_switches k.Kernel.sched > 10)
+
+let test_spawn_load_duty_cycle () =
+  let k = boot () in
+  let t =
+    Kernel.spawn_load k ~name:"halfload" ~affinity:1 ~burst:(Sim_time.ms 1) ~duty:0.5 ()
+  in
+  run k (Sim_time.s 1);
+  let cpu = Sim_time.to_sec_f (Task.cpu_time t) in
+  if Float.abs (cpu -. 0.5) > 0.05 then Alcotest.failf "duty off: %.3f" cpu
+
+let suite =
+  [
+    Alcotest.test_case "spawn and run" `Quick test_spawn_and_run;
+    Alcotest.test_case "double spawn rejected" `Quick test_double_spawn_rejected;
+    Alcotest.test_case "bad affinity rejected" `Quick test_bad_affinity_rejected;
+    Alcotest.test_case "cfs fairness" `Quick test_cfs_fairness_two_hogs;
+    Alcotest.test_case "rt preempts cfs" `Quick test_rt_preempts_cfs;
+    Alcotest.test_case "rt priority order" `Quick test_rt_priority_order;
+    Alcotest.test_case "pinned task stalls (side channel)" `Quick
+      test_pinned_task_stalls_when_core_secure;
+    Alcotest.test_case "unpinned task migrates" `Quick test_unpinned_task_migrates_at_wake;
+    Alcotest.test_case "sleep wakes on time" `Quick test_sleep_wakes_on_time;
+    Alcotest.test_case "exit removes task" `Quick test_exit_removes_task;
+    Alcotest.test_case "block and wake" `Quick test_block_and_wake;
+    Alcotest.test_case "zero-cpu livelock guard" `Quick test_zero_cpu_livelock_guard;
+    Alcotest.test_case "cfs zero-cpu livelock guard" `Quick test_cfs_zero_cpu_livelock_guard;
+    Alcotest.test_case "stale sleep timer invalidated" `Quick test_stale_sleep_timer_invalidated;
+    Alcotest.test_case "sleeper preempts hog on wake" `Quick test_sleeper_preempts_hog_on_wake;
+    Alcotest.test_case "context switch counter" `Quick test_context_switch_counter;
+    Alcotest.test_case "spawn_load duty" `Quick test_spawn_load_duty_cycle;
+  ]

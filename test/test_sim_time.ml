@@ -1,0 +1,61 @@
+open Satin_engine
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-12))
+
+let test_units () =
+  check "us" 1_000 (Sim_time.us 1);
+  check "ms" 1_000_000 (Sim_time.ms 1);
+  check "s" 1_000_000_000 (Sim_time.s 1);
+  check "ns" 7 (Sim_time.ns 7);
+  check "zero" 0 Sim_time.zero
+
+let test_float_roundtrip () =
+  checkf "1.5 s" 1.5 (Sim_time.to_sec_f (Sim_time.of_sec_f 1.5));
+  check "of_sec_f rounds" 1 (Sim_time.of_sec_f 1.4e-9);
+  check "of_sec_f rounds down" 0 (Sim_time.of_sec_f 0.4e-9);
+  check "of_ns_f" 3 (Sim_time.of_ns_f 2.6)
+
+let test_arith () =
+  check "add" 5 (Sim_time.add 2 3);
+  check "sub" (-1) (Sim_time.sub 2 3);
+  check "diff" 4 (Sim_time.diff 7 3);
+  check "min" 2 (Sim_time.min 2 3);
+  check "max" 3 (Sim_time.max 2 3);
+  Alcotest.(check bool) "negative" true (Sim_time.is_negative (-1));
+  Alcotest.(check bool) "non-negative" false (Sim_time.is_negative 0)
+
+let test_scale () =
+  check "scale by 2" (Sim_time.ms 2) (Sim_time.scale (Sim_time.ms 1) 2.0);
+  check "scale by 0.5" (Sim_time.us 500) (Sim_time.scale (Sim_time.ms 1) 0.5);
+  check "scale rounds" 3 (Sim_time.scale 2 1.4)
+
+let test_pp () =
+  Alcotest.(check string) "sub-second" "2.380e-06 s" (Sim_time.to_string (Sim_time.ns 2380));
+  Alcotest.(check string) "seconds" "2.000 s" (Sim_time.to_string (Sim_time.s 2));
+  Alcotest.(check string) "zero" "0.000 s" (Sim_time.to_string Sim_time.zero)
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add associative/commutative"
+    QCheck.(triple small_int small_int small_int)
+    (fun (a, b, c) ->
+      Sim_time.add a (Sim_time.add b c) = Sim_time.add (Sim_time.add a b) c
+      && Sim_time.add a b = Sim_time.add b a)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"seconds roundtrip within 1ns"
+    QCheck.(float_bound_inclusive 100.0)
+    (fun x ->
+      let t = Sim_time.of_sec_f x in
+      Float.abs (Sim_time.to_sec_f t -. x) <= 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "units" `Quick test_units;
+    Alcotest.test_case "float roundtrip" `Quick test_float_roundtrip;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "formatting" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_add_assoc;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

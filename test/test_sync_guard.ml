@@ -1,0 +1,114 @@
+(* Synchronous introspection, its bypass, and why the async layer matters. *)
+
+module Scenario = Satin.Scenario
+open Satin_engine
+module Memory = Satin_hw.Memory
+module World = Satin_hw.World
+module Sync_guard = Satin_introspect.Sync_guard
+module Satin_def = Satin_introspect.Satin
+module Round = Satin_introspect.Round
+module Rootkit = Satin_attack.Rootkit
+module Kprober = Satin_attack.Kprober
+
+let test_guard_blocks_rootkit () =
+  let s = Scenario.create ~seed:101 () in
+  let guard = Sync_guard.install s.Scenario.kernel in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  (try
+     Rootkit.arm rk;
+     Alcotest.fail "hijack not trapped"
+   with Memory.Write_trapped { guard_name; _ } ->
+     Alcotest.(check string) "trapped by the syscall guard"
+       "sync_guard:sys_call_table" guard_name);
+  Alcotest.(check int) "one trap logged" 1 (Sync_guard.trapped_count guard);
+  (match Sync_guard.trapped guard with
+  | [ t ] ->
+      Alcotest.(check bool) "right target" true
+        (t.Sync_guard.trap_target = Sync_guard.Syscall_table)
+  | _ -> Alcotest.fail "trap record missing");
+  Alcotest.(check bool) "table unmodified" false (Rootkit.hijacked_now rk)
+
+let test_guard_blocks_kprober1 () =
+  let s = Scenario.create ~seed:102 () in
+  ignore (Sync_guard.install s.Scenario.kernel);
+  try
+    ignore
+      (Kprober.deploy s.Scenario.kernel
+         { Kprober.default_config with reporter = Kprober.Tick_reporter });
+    Alcotest.fail "vector hijack not trapped"
+  with Memory.Write_trapped { guard_name; _ } ->
+    Alcotest.(check string) "trapped by the vector guard" "sync_guard:vectors"
+      guard_name
+
+let test_guard_allows_benign_writes () =
+  let s = Scenario.create ~seed:103 () in
+  ignore (Sync_guard.install s.Scenario.kernel);
+  (* Writes outside the protected symbols pass through. *)
+  Memory.write_byte s.Scenario.platform.Satin_hw.Platform.memory
+    ~world:World.Normal
+    ~addr:(16 * 1024 * 1024)
+    7;
+  (* Secure-world writes to the protected range pass (it owns the tables). *)
+  let vec = Satin_kernel.Layout.vector_table s.Scenario.kernel.Satin_kernel.Kernel.layout in
+  Memory.write_byte s.Scenario.platform.Satin_hw.Platform.memory
+    ~world:World.Secure ~addr:vec.Satin_kernel.Layout.sym_addr 0
+
+let test_ap_flip_bypasses_silently () =
+  let s = Scenario.create ~seed:104 () in
+  let guard = Sync_guard.install s.Scenario.kernel in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  (* §VII-A: the write-what-where exploit flips the AP bits... *)
+  Sync_guard.ap_flip_exploit guard Sync_guard.Syscall_table;
+  (* ...after which the same hijack lands without a trap... *)
+  Rootkit.arm rk;
+  Alcotest.(check bool) "hijack installed" true (Rootkit.hijacked_now rk);
+  Alcotest.(check int) "no trap fired" 0 (Sync_guard.trapped_count guard);
+  (* ...and the defender's self-check still looks healthy. *)
+  Alcotest.(check bool) "hook still 'registered'" true
+    (Sync_guard.hook_registered guard Sync_guard.Syscall_table);
+  Alcotest.(check bool) "but not enforcing (ground truth)" false
+    (Sync_guard.actually_enforcing guard Sync_guard.Syscall_table);
+  Alcotest.(check bool) "other target still enforced" true
+    (Sync_guard.actually_enforcing guard Sync_guard.Vectors)
+
+let test_async_layer_catches_the_bypass () =
+  (* §VII-C: the end-to-end story — sync introspection bypassed via the AP
+     flip, the hijack lands silently, and SATIN's next pass over area 14
+     raises the alarm anyway. *)
+  let s = Scenario.create ~seed:105 () in
+  let guard = Sync_guard.install s.Scenario.kernel in
+  let satin =
+    Scenario.install_satin s
+      ~config:{ Satin_def.default_config with Satin_def.t_goal = Sim_time.s 19 }
+      ()
+  in
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Sync_guard.ap_flip_exploit guard Sync_guard.Syscall_table;
+  Rootkit.arm rk;
+  Scenario.run_for s (Sim_time.s 25);
+  Satin_def.stop satin;
+  Alcotest.(check int) "sync layer saw nothing" 0 (Sync_guard.trapped_count guard);
+  Alcotest.(check bool) "async layer raised the alarm" true
+    (Satin_def.detections satin >= 1);
+  List.iter
+    (fun r -> Alcotest.(check int) "alarm on area 14" 14 r.Round.area_index)
+    (Satin_def.alarms satin)
+
+let test_uninstall () =
+  let s = Scenario.create ~seed:106 () in
+  let guard = Sync_guard.install s.Scenario.kernel in
+  Sync_guard.uninstall guard;
+  let rk = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Rootkit.arm rk;
+  Alcotest.(check bool) "writes pass after uninstall" true (Rootkit.hijacked_now rk)
+
+let suite =
+  [
+    Alcotest.test_case "guard blocks rootkit" `Quick test_guard_blocks_rootkit;
+    Alcotest.test_case "guard blocks KProber-I" `Quick test_guard_blocks_kprober1;
+    Alcotest.test_case "guard allows benign writes" `Quick test_guard_allows_benign_writes;
+    Alcotest.test_case "AP flip bypasses silently" `Quick test_ap_flip_bypasses_silently;
+    Alcotest.test_case "async layer catches the bypass" `Quick
+      test_async_layer_catches_the_bypass;
+    Alcotest.test_case "uninstall" `Quick test_uninstall;
+  ]

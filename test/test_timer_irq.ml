@@ -1,0 +1,95 @@
+open Satin_kernel
+open Satin_hw
+open Satin_engine
+
+let boot () =
+  let platform = Platform.juno_r1 ~seed:13 () in
+  Kernel.boot platform
+
+let engine k = k.Kernel.platform.Platform.engine
+let run k d = Engine.run_until (engine k) (Sim_time.add (Engine.now (engine k)) d)
+
+let test_hz_validation () =
+  let platform = Platform.juno_r1 ~seed:1 () in
+  try
+    ignore (Kernel.boot ~hz:50 platform);
+    Alcotest.fail "HZ below 100 accepted"
+  with Invalid_argument _ -> ()
+
+let test_period () =
+  let k = boot () in
+  Alcotest.(check int) "250 Hz" 250 (Timer_irq.hz k.Kernel.tick);
+  Alcotest.(check int) "4ms period" (Sim_time.ms 4) (Timer_irq.period k.Kernel.tick)
+
+let test_ticks_with_work () =
+  let k = boot () in
+  ignore (Kernel.spawn_spinner k ~core:0);
+  run k (Sim_time.s 1);
+  let ticks = Timer_irq.ticks_delivered k.Kernel.tick ~core:0 in
+  if ticks < 240 || ticks > 260 then Alcotest.failf "tick count off: %d" ticks;
+  Alcotest.(check bool) "tick alive" true (Timer_irq.tick_alive k.Kernel.tick ~core:0)
+
+let test_nohz_idle_stops_tick () =
+  let k = boot () in
+  run k (Sim_time.s 1);
+  (* No runnable work anywhere: every core's tick dies after the first. *)
+  Alcotest.(check bool) "tick stopped on idle core" false
+    (Timer_irq.tick_alive k.Kernel.tick ~core:0);
+  let before = Timer_irq.ticks_delivered k.Kernel.tick ~core:0 in
+  run k (Sim_time.s 1);
+  Alcotest.(check int) "no further ticks while idle" before
+    (Timer_irq.ticks_delivered k.Kernel.tick ~core:0)
+
+let test_enqueue_restarts_tick () =
+  let k = boot () in
+  run k (Sim_time.s 1);
+  Alcotest.(check bool) "idle" false (Timer_irq.tick_alive k.Kernel.tick ~core:2);
+  ignore (Kernel.spawn_spinner k ~core:2);
+  Alcotest.(check bool) "restarted on enqueue" true
+    (Timer_irq.tick_alive k.Kernel.tick ~core:2);
+  let before = Timer_irq.ticks_delivered k.Kernel.tick ~core:2 in
+  run k (Sim_time.ms 100);
+  Alcotest.(check bool) "ticking again" true
+    (Timer_irq.ticks_delivered k.Kernel.tick ~core:2 > before)
+
+let test_hooks_run_per_tick () =
+  let k = boot () in
+  ignore (Kernel.spawn_spinner k ~core:1);
+  let hits = ref 0 in
+  let hook = Timer_irq.add_hook k.Kernel.tick (fun ~core -> if core = 1 then incr hits) in
+  run k (Sim_time.ms 100);
+  let ticks = Timer_irq.ticks_delivered k.Kernel.tick ~core:1 in
+  Alcotest.(check bool) "hook saw (most) ticks" true (!hits >= ticks - 1);
+  Timer_irq.remove_hook k.Kernel.tick hook;
+  Timer_irq.remove_hook k.Kernel.tick hook (* idempotent *);
+  let frozen = !hits in
+  run k (Sim_time.ms 100);
+  Alcotest.(check int) "hooks removed" frozen !hits
+
+let test_ticks_pend_during_secure () =
+  let k = boot () in
+  ignore (Kernel.spawn_spinner k ~core:3);
+  run k (Sim_time.ms 100);
+  let cpu = Platform.core k.Kernel.platform 3 in
+  let before = Timer_irq.ticks_delivered k.Kernel.tick ~core:3 in
+  Cpu.set_world cpu World.Secure;
+  run k (Sim_time.ms 100);
+  let during = Timer_irq.ticks_delivered k.Kernel.tick ~core:3 in
+  Alcotest.(check bool) "at most one pended tick delivered" true (during - before <= 1);
+  Cpu.set_world cpu World.Normal;
+  Satin_hw.Gic.flush_pending k.Kernel.platform.Platform.gic ~core:3
+    ~world_of_core:(fun () -> Cpu.world cpu);
+  run k (Sim_time.ms 100);
+  let after = Timer_irq.ticks_delivered k.Kernel.tick ~core:3 in
+  Alcotest.(check bool) "ticking resumed" true (after - during >= 20)
+
+let suite =
+  [
+    Alcotest.test_case "hz validation" `Quick test_hz_validation;
+    Alcotest.test_case "period" `Quick test_period;
+    Alcotest.test_case "ticks with work" `Quick test_ticks_with_work;
+    Alcotest.test_case "nohz idle stops tick" `Quick test_nohz_idle_stops_tick;
+    Alcotest.test_case "enqueue restarts tick" `Quick test_enqueue_restarts_tick;
+    Alcotest.test_case "hooks per tick" `Quick test_hooks_run_per_tick;
+    Alcotest.test_case "ticks pend during secure" `Quick test_ticks_pend_during_secure;
+  ]

@@ -1,0 +1,63 @@
+open Satin_engine
+
+let make () =
+  let t = Trace.create () in
+  Trace.record t 10 "a";
+  Trace.record t 20 "b";
+  Trace.record t 30 "a";
+  Trace.record t 45 "c";
+  t
+
+let test_order_and_length () =
+  let t = make () in
+  Alcotest.(check int) "length" 4 (Trace.length t);
+  Alcotest.(check (list string)) "values in order" [ "a"; "b"; "a"; "c" ]
+    (Trace.values t);
+  Alcotest.(check (list int)) "times in order" [ 10; 20; 30; 45 ]
+    (List.map (fun e -> e.Trace.time) (Trace.to_list t))
+
+let test_filter_count () =
+  let t = make () in
+  Alcotest.(check int) "count a" 2 (Trace.count (( = ) "a") t);
+  Alcotest.(check int) "filter a" 2 (List.length (Trace.filter (( = ) "a") t))
+
+let test_find () =
+  let t = make () in
+  (match Trace.find_first (( = ) "a") t with
+  | Some e -> Alcotest.(check int) "first a" 10 e.Trace.time
+  | None -> Alcotest.fail "missing");
+  (match Trace.find_last (( = ) "a") t with
+  | Some e -> Alcotest.(check int) "last a" 30 e.Trace.time
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "find none" true (Trace.find_first (( = ) "z") t = None);
+  match Trace.last t with
+  | Some e -> Alcotest.(check string) "last overall" "c" e.Trace.value
+  | None -> Alcotest.fail "missing last"
+
+let test_gaps () =
+  let t = make () in
+  Alcotest.(check (list int)) "gaps between a's" [ 20 ] (Trace.gaps (( = ) "a") t);
+  Alcotest.(check (list int)) "gaps all" [ 10; 10; 15 ] (Trace.gaps (fun _ -> true) t);
+  Alcotest.(check (list int)) "gaps single" [] (Trace.gaps (( = ) "b") t);
+  Alcotest.(check (list int)) "gaps none" [] (Trace.gaps (( = ) "z") t)
+
+let test_clear () =
+  let t = make () in
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.length t);
+  Alcotest.(check bool) "no last" true (Trace.last t = None)
+
+let test_empty () =
+  let t : int Trace.t = Trace.create () in
+  Alcotest.(check int) "empty length" 0 (Trace.length t);
+  Alcotest.(check bool) "empty list" true (Trace.to_list t = [])
+
+let suite =
+  [
+    Alcotest.test_case "order and length" `Quick test_order_and_length;
+    Alcotest.test_case "filter and count" `Quick test_filter_count;
+    Alcotest.test_case "find first/last" `Quick test_find;
+    Alcotest.test_case "gaps" `Quick test_gaps;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "empty" `Quick test_empty;
+  ]

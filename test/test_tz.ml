@@ -1,0 +1,88 @@
+(* Secure memory carve-out and TSP dispatcher. *)
+
+open Satin_tz
+open Satin_hw
+open Satin_engine
+
+let setup () =
+  let platform = Platform.juno_r1 ~seed:3 () in
+  let smem =
+    Secure_memory.create ~memory:platform.Platform.memory
+      ~base:(24 * 1024 * 1024) ~size:4096
+  in
+  platform, smem
+
+let test_region_is_secure () =
+  let platform, smem = setup () in
+  let r = Secure_memory.region smem in
+  Alcotest.(check string) "name" "tz_secure_ram" r.Memory.name;
+  Alcotest.(check bool) "secure" true (r.Memory.security = Memory.Secure_region);
+  (* The normal world cannot read it — the property SATIN's queue rests on. *)
+  try
+    ignore
+      (Memory.read_byte platform.Platform.memory ~world:World.Normal
+         ~addr:(24 * 1024 * 1024));
+    Alcotest.fail "normal world read a secure cell"
+  with Memory.Access_violation _ -> ()
+
+let test_cell_roundtrip () =
+  let _, smem = setup () in
+  let c = Secure_memory.alloc smem ~name:"queue" ~slots:4 in
+  Alcotest.(check int) "slots" 4 (Secure_memory.slots c);
+  Secure_memory.set smem c 0 42L;
+  Secure_memory.set smem c 3 (-1L);
+  Alcotest.(check int64) "slot 0" 42L (Secure_memory.get smem c 0);
+  Alcotest.(check int64) "slot 3" (-1L) (Secure_memory.get smem c 3);
+  Alcotest.(check int64) "untouched slot zero" 0L (Secure_memory.get smem c 1)
+
+let test_cell_time_roundtrip () =
+  let _, smem = setup () in
+  let c = Secure_memory.alloc smem ~name:"times" ~slots:2 in
+  Secure_memory.set_time smem c 0 (Sim_time.ms 17);
+  Alcotest.(check int) "time roundtrip" (Sim_time.ms 17) (Secure_memory.get_time smem c 0)
+
+let test_alloc_accounting_and_limits () =
+  let _, smem = setup () in
+  ignore (Secure_memory.alloc smem ~name:"a" ~slots:8);
+  Alcotest.(check int) "used bytes" 64 (Secure_memory.used_bytes smem);
+  (try
+     ignore (Secure_memory.alloc smem ~name:"a" ~slots:1);
+     Alcotest.fail "duplicate name accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Secure_memory.alloc smem ~name:"huge" ~slots:10_000);
+     Alcotest.fail "over-allocation accepted"
+   with Invalid_argument _ -> ());
+  try
+    let c = Secure_memory.alloc smem ~name:"b" ~slots:1 in
+    ignore (Secure_memory.get smem c 1);
+    Alcotest.fail "oob index accepted"
+  with Invalid_argument _ -> ()
+
+let test_tsp_dispatch () =
+  let platform, _ = setup () in
+  let tsp = Tsp.install platform in
+  let hits = ref [] in
+  Tsp.set_timer_handler tsp (fun ~core -> hits := core :: !hits);
+  Timer.arm_after platform.Platform.secure_timers.(2) (Sim_time.ms 1);
+  Timer.arm_after platform.Platform.secure_timers.(5) (Sim_time.ms 2);
+  Engine.run_until platform.Platform.engine (Sim_time.ms 10);
+  Alcotest.(check (list int)) "dispatched per core" [ 2; 5 ] (List.rev !hits);
+  Alcotest.(check int) "taken count" 2 (Tsp.timer_interrupts_taken tsp)
+
+let test_tsp_default_handler_ignores () =
+  let platform, _ = setup () in
+  let tsp = Tsp.install platform in
+  Timer.arm_after platform.Platform.secure_timers.(0) (Sim_time.ms 1);
+  Engine.run_until platform.Platform.engine (Sim_time.ms 10);
+  Alcotest.(check int) "taken without handler" 1 (Tsp.timer_interrupts_taken tsp)
+
+let suite =
+  [
+    Alcotest.test_case "region is secure" `Quick test_region_is_secure;
+    Alcotest.test_case "cell roundtrip" `Quick test_cell_roundtrip;
+    Alcotest.test_case "cell time roundtrip" `Quick test_cell_time_roundtrip;
+    Alcotest.test_case "alloc limits" `Quick test_alloc_accounting_and_limits;
+    Alcotest.test_case "tsp dispatch" `Quick test_tsp_dispatch;
+    Alcotest.test_case "tsp default handler" `Quick test_tsp_default_handler_ignores;
+  ]

@@ -1,0 +1,125 @@
+module Scenario = Satin.Scenario
+open Satin_workload
+open Satin_engine
+module Platform = Satin_hw.Platform
+module Cpu = Satin_hw.Cpu
+module World = Satin_hw.World
+
+let run s d = Scenario.run_for s d
+
+let test_program_table () =
+  Alcotest.(check int) "12 programs" 12 (List.length Unixbench.programs);
+  let p = Unixbench.find_program "file_copy_256" in
+  Alcotest.(check (float 0.0)) "fc256 fully memory bound" 1.0 p.Unixbench.mem_sensitivity;
+  (try
+     ignore (Unixbench.find_program "nope");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ());
+  (* The paper's two worst cases carry the largest refill sensitivity. *)
+  let worst =
+    List.sort
+      (fun a b -> compare b.Unixbench.refill_sensitivity a.Unixbench.refill_sensitivity)
+      Unixbench.programs
+  in
+  match worst with
+  | a :: b :: _ ->
+      Alcotest.(check (list string)) "worst two" [ "context_switching"; "file_copy_256" ]
+        (List.sort compare [ a.Unixbench.prog_name; b.Unixbench.prog_name ])
+  | _ -> Alcotest.fail "short table"
+
+let test_score_counts_units () =
+  let s = Scenario.create ~seed:61 () in
+  let p = Unixbench.find_program "dhrystone2" in
+  let inst = Unixbench.launch s.Scenario.kernel p ~copies:1 () in
+  run s (Sim_time.s 2);
+  let units = Unixbench.completed_units inst in
+  (* 500 us per unit on a dedicated core: ~4000 units in 2 s. *)
+  if units < 3800 || units > 4100 then Alcotest.failf "units %d" units;
+  let score = Unixbench.score inst ~at:(Scenario.now s) in
+  Alcotest.(check (float 1.0)) "score = units/s" (float_of_int units /. 2.0) score;
+  Unixbench.stop inst
+
+let test_copies_share_cores () =
+  let s = Scenario.create ~seed:62 () in
+  let p = Unixbench.find_program "whetstone" in
+  let inst = Unixbench.launch s.Scenario.kernel p ~copies:6 () in
+  run s (Sim_time.s 1);
+  let units = Unixbench.completed_units inst in
+  (* six copies on six cores: ~6x the single-copy rate *)
+  if units < 11_000 || units > 12_200 then Alcotest.failf "units %d" units;
+  Unixbench.stop inst
+
+let test_stop_halts () =
+  let s = Scenario.create ~seed:63 () in
+  let p = Unixbench.find_program "syscall" in
+  let inst = Unixbench.launch s.Scenario.kernel p ~copies:1 () in
+  run s (Sim_time.ms 100);
+  Unixbench.stop inst;
+  run s (Sim_time.ms 10);
+  let frozen = Unixbench.completed_units inst in
+  run s (Sim_time.ms 500);
+  Alcotest.(check int) "no units after stop" frozen (Unixbench.completed_units inst)
+
+let test_contention_slows_memory_bound () =
+  let s = Scenario.create ~seed:64 () in
+  let p = Unixbench.find_program "file_copy_256" in
+  let inst = Unixbench.launch s.Scenario.kernel p ~affinity:1 ~copies:1 () in
+  run s (Sim_time.s 1);
+  let before = Unixbench.completed_units inst in
+  (* Hold another core in the secure world for a full second. *)
+  Cpu.set_world (Platform.core s.Scenario.platform 5) World.Secure;
+  run s (Sim_time.s 1);
+  Cpu.set_world (Platform.core s.Scenario.platform 5) World.Normal;
+  let during = Unixbench.completed_units inst - before in
+  (* Dilation 1 + 3.5 during the scan: throughput drops to ~22%. *)
+  if during > before / 3 then
+    Alcotest.failf "memory-bound not slowed: %d vs %d" during before;
+  Unixbench.stop inst
+
+let test_contention_spares_cpu_bound () =
+  let s = Scenario.create ~seed:65 () in
+  let p = Unixbench.find_program "dhrystone2" in
+  let inst = Unixbench.launch s.Scenario.kernel p ~affinity:1 ~copies:1 () in
+  run s (Sim_time.s 1);
+  let before = Unixbench.completed_units inst in
+  Cpu.set_world (Platform.core s.Scenario.platform 5) World.Secure;
+  run s (Sim_time.s 1);
+  Cpu.set_world (Platform.core s.Scenario.platform 5) World.Normal;
+  let during = Unixbench.completed_units inst - before in
+  if during < before * 95 / 100 then
+    Alcotest.failf "cpu-bound slowed too much: %d vs %d" during before;
+  Unixbench.stop inst
+
+let test_refill_window_bites_same_core_only () =
+  let s = Scenario.create ~seed:66 () in
+  let p = Unixbench.find_program "context_switching" in
+  let on_core = Unixbench.launch s.Scenario.kernel p ~affinity:2 ~copies:1 () in
+  let off_core = Unixbench.launch s.Scenario.kernel p ~affinity:3 ~copies:1 () in
+  run s (Sim_time.s 1);
+  let base_on = Unixbench.completed_units on_core in
+  let base_off = Unixbench.completed_units off_core in
+  (* Brief secure visit on core 2; measure the refill window that follows. *)
+  Cpu.set_world (Platform.core s.Scenario.platform 2) World.Secure;
+  run s (Sim_time.ms 5);
+  Cpu.set_world (Platform.core s.Scenario.platform 2) World.Normal;
+  run s (Sim_time.ms 220);
+  let d_on = Unixbench.completed_units on_core - base_on in
+  let d_off = Unixbench.completed_units off_core - base_off in
+  if d_on >= d_off * 70 / 100 then
+    Alcotest.failf "refill did not bite the visited core: %d vs %d" d_on d_off;
+  Unixbench.stop on_core;
+  Unixbench.stop off_core
+
+let suite =
+  [
+    Alcotest.test_case "program table" `Quick test_program_table;
+    Alcotest.test_case "score counts units" `Quick test_score_counts_units;
+    Alcotest.test_case "copies share cores" `Quick test_copies_share_cores;
+    Alcotest.test_case "stop halts" `Quick test_stop_halts;
+    Alcotest.test_case "contention slows memory-bound" `Quick
+      test_contention_slows_memory_bound;
+    Alcotest.test_case "contention spares cpu-bound" `Quick
+      test_contention_spares_cpu_bound;
+    Alcotest.test_case "refill bites visited core" `Quick
+      test_refill_window_bites_same_core_only;
+  ]
