@@ -2,6 +2,7 @@
 
 open Cmdliner
 module E = Satin.Experiment
+module Obs = Satin_obs.Obs
 
 let fmt = Format.std_formatter
 
@@ -13,9 +14,46 @@ let quick_arg =
   let doc = "Shrink campaign lengths for a fast run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Export a Chrome trace-event JSON timeline of the run to $(docv); open \
+     it at ui.perfetto.dev or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Export a JSON summary of the run's metrics to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Install an observability sink around [f] only when an export was asked
+   for, so the default path keeps the bare (un-instrumented) hot loops. *)
+let with_obs trace metrics f =
+  match (trace, metrics) with
+  | None, None -> f ()
+  | _ ->
+      let obs = Obs.create () in
+      Obs.install obs;
+      Fun.protect ~finally:Obs.uninstall f;
+      Option.iter (Obs.write_trace obs) trace;
+      Option.iter (Obs.write_metrics obs) metrics
+
 let simple name doc f =
-  let term = Term.(const f $ seed_arg) in
-  Cmd.v (Cmd.info name ~doc) term
+  let run seed trace metrics = with_obs trace metrics (fun () -> f seed) in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ seed_arg $ trace_arg $ metrics_arg)
+
+(* Like [simple] but with the [--quick] flag. *)
+let campaign name doc f =
+  let run seed quick trace metrics =
+    with_obs trace metrics (fun () -> f seed quick)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ trace_arg $ metrics_arg)
+
+(* Closed-form commands: no seed, but still accept the export flags. *)
+let closed_form name doc f =
+  let run trace metrics = with_obs trace metrics f in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ trace_arg $ metrics_arg)
 
 let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
     (fun seed -> E.print_e1 fmt (E.run_e1 ~seed ()))
@@ -29,93 +67,62 @@ let e3 = simple "e3" "Attacker recovery time (Sec IV-B2)"
 let uprober = simple "uprober" "User-level prober responsiveness (Sec III-B1)"
     (fun seed -> E.print_uprober fmt (E.run_uprober ~seed ()))
 
-let table2 =
-  let run seed quick =
-    let rounds = if quick then 15 else 50 in
-    let r = E.run_table2 ~seed ~rounds () in
-    E.print_table2 fmt r
-  in
-  Cmd.v (Cmd.info "table2" ~doc:"Table II: probing threshold vs period")
-    Term.(const run $ seed_arg $ quick_arg)
+let table2 = campaign "table2" "Table II: probing threshold vs period"
+    (fun seed quick ->
+      let rounds = if quick then 15 else 50 in
+      E.print_table2 fmt (E.run_table2 ~seed ~rounds ()))
 
-let fig4 =
-  let run seed quick =
-    let rounds = if quick then 15 else 50 in
-    let r = E.run_table2 ~seed ~rounds () in
-    E.print_fig4 fmt r
-  in
-  Cmd.v (Cmd.info "fig4" ~doc:"Figure 4: probing threshold stability")
-    Term.(const run $ seed_arg $ quick_arg)
+let fig4 = campaign "fig4" "Figure 4: probing threshold stability"
+    (fun seed quick ->
+      let rounds = if quick then 15 else 50 in
+      E.print_fig4 fmt (E.run_table2 ~seed ~rounds ()))
 
 let e6 = simple "e6" "Single-core vs all-core probing"
     (fun seed -> E.print_e6 fmt (E.run_e6 ~seed ()))
 
-let race =
-  Cmd.v (Cmd.info "race" ~doc:"Sec IV-C race-condition analysis")
-    Term.(const (fun () -> E.print_e7 fmt (E.run_e7 ())) $ const ())
+let race = closed_form "race" "Sec IV-C race-condition analysis"
+    (fun () -> E.print_e7 fmt (E.run_e7 ()))
 
-let timeline =
-  Cmd.v (Cmd.info "timeline" ~doc:"Figure 3: two-world race timeline")
-    Term.(const (fun () -> E.print_timeline fmt Satin.Race.paper_worst_case) $ const ())
+let timeline = closed_form "timeline" "Figure 3: two-world race timeline"
+    (fun () -> E.print_timeline fmt Satin.Race.paper_worst_case)
 
-let evasion =
-  let run seed quick =
-    E.print_e8 fmt (E.run_e8 ~seed ~duration_s:(if quick then 120 else 400) ())
-  in
-  Cmd.v (Cmd.info "evasion" ~doc:"E8: TZ-Evader vs PKM-style introspection")
-    Term.(const run $ seed_arg $ quick_arg)
+let evasion = campaign "evasion" "E8: TZ-Evader vs PKM-style introspection"
+    (fun seed quick ->
+      E.print_e8 fmt (E.run_e8 ~seed ~duration_s:(if quick then 120 else 400) ()))
 
-let areas =
-  Cmd.v (Cmd.info "areas" ~doc:"E9: kernel area partition")
-    Term.(const (fun () -> E.print_e9 fmt (E.run_e9 ())) $ const ())
+let areas = closed_form "areas" "E9: kernel area partition"
+    (fun () -> E.print_e9 fmt (E.run_e9 ()))
 
 let satin_detect =
-  let run seed quick =
-    E.print_e10 fmt (E.run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ())
-  in
-  Cmd.v (Cmd.info "satin-detect" ~doc:"E10: SATIN detecting TZ-Evader (Sec VI-B1)")
-    Term.(const run $ seed_arg $ quick_arg)
+  campaign "satin-detect" "E10: SATIN detecting TZ-Evader (Sec VI-B1)"
+    (fun seed quick ->
+      E.print_e10 fmt
+        (E.run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ()))
 
-let fig7 =
-  let run seed quick =
-    E.print_fig7 fmt (E.run_fig7 ~seed ~window_s:(if quick then 8 else 30) ())
-  in
-  Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: SATIN overhead on UnixBench")
-    Term.(const run $ seed_arg $ quick_arg)
+let fig7 = campaign "fig7" "Figure 7: SATIN overhead on UnixBench"
+    (fun seed quick ->
+      E.print_fig7 fmt (E.run_fig7 ~seed ~window_s:(if quick then 8 else 30) ()))
 
-let dkom =
-  let run seed quick =
-    E.print_e13 fmt (E.run_e13 ~seed ~checks:(if quick then 10 else 30) ())
-  in
-  Cmd.v (Cmd.info "dkom" ~doc:"E13: cross-view detection of DKOM process hiding")
-    Term.(const run $ seed_arg $ quick_arg)
+let dkom = campaign "dkom" "E13: cross-view detection of DKOM process hiding"
+    (fun seed quick ->
+      E.print_e13 fmt (E.run_e13 ~seed ~checks:(if quick then 10 else 30) ()))
 
 let cache_channel =
-  let run seed quick =
-    E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ())
-  in
-  Cmd.v (Cmd.info "cache-channel" ~doc:"E14: SATIN vs the cache-occupancy side channel")
-    Term.(const run $ seed_arg $ quick_arg)
+  campaign "cache-channel" "E14: SATIN vs the cache-occupancy side channel"
+    (fun seed quick ->
+      E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ()))
 
-let sweep =
-  let run seed quick =
-    E.print_tgoal_sweep fmt
-      (E.run_tgoal_sweep ~seed ~trials:(if quick then 2 else 4) ())
-  in
-  Cmd.v (Cmd.info "sweep" ~doc:"Tgoal coverage/overhead sweep")
-    Term.(const run $ seed_arg $ quick_arg)
+let sweep = campaign "sweep" "Tgoal coverage/overhead sweep"
+    (fun seed quick ->
+      E.print_tgoal_sweep fmt
+        (E.run_tgoal_sweep ~seed ~trials:(if quick then 2 else 4) ()))
 
-let ablation =
-  let run seed quick =
-    E.print_ablation fmt (E.run_ablation ~seed ~passes:(if quick then 1 else 3) ())
-  in
-  Cmd.v (Cmd.info "ablation" ~doc:"SATIN randomization ablation")
-    Term.(const run $ seed_arg $ quick_arg)
+let ablation = campaign "ablation" "SATIN randomization ablation"
+    (fun seed quick ->
+      E.print_ablation fmt (E.run_ablation ~seed ~passes:(if quick then 1 else 3) ()))
 
-let all =
-  let run seed quick = E.run_all ~seed ~quick fmt in
-  Cmd.v (Cmd.info "all" ~doc:"Run the whole evaluation in paper order")
-    Term.(const run $ seed_arg $ quick_arg)
+let all = campaign "all" "Run the whole evaluation in paper order"
+    (fun seed quick -> E.run_all ~seed ~quick fmt)
 
 let main =
   let doc = "SATIN (DSN 2019) reproduction: experiments on the simulated Juno r1" in

@@ -3,6 +3,7 @@ module Sim_time = Satin_engine.Sim_time
 module Platform = Satin_hw.Platform
 module Cpu = Satin_hw.Cpu
 module Kernel = Satin_kernel.Kernel
+module Obs = Satin_obs.Obs
 
 type config = {
   prober : Kprober.config;
@@ -45,8 +46,10 @@ let schedule_rearm t =
       (Engine.schedule t.platform.Platform.engine ~after:t.config.confirm_clear
          (fun () ->
            t.rearm_pending <- None;
-           if t.running && not (Kprober.suspected_any t.prober) then
-             Rootkit.start_rearm t.rootkit ()))
+           if t.running && not (Kprober.suspected_any t.prober) then begin
+             Obs.incr "evader.rearms";
+             Rootkit.start_rearm t.rootkit ()
+           end))
 
 let on_suspect t (det : Kprober.detection) =
   if t.running then begin
@@ -61,8 +64,14 @@ let on_suspect t (det : Kprober.detection) =
     in
     Rootkit.start_hide t.rootkit
       ~on_hidden:(fun () ->
-        t.reaction_times <-
-          Sim_time.to_sec_f (Sim_time.diff (now t) entry) :: t.reaction_times;
+        let reaction = Sim_time.to_sec_f (Sim_time.diff (now t) entry) in
+        if Obs.enabled () then begin
+          Obs.incr "evader.hides";
+          Obs.observe "evader.hide_latency" reaction;
+          Obs.instant ~time:(now t) ~track:t.config.cleanup_core ~cat:"attack"
+            "hide-complete"
+        end;
+        t.reaction_times <- reaction :: t.reaction_times;
         (* The introspection round may already be over by the time the last
            byte is restored (SATIN's rounds are shorter than the hide);
            re-arm from here too, not only from the clear edge. *)

@@ -6,6 +6,7 @@ module Kernel = Satin_kernel.Kernel
 module Task = Satin_kernel.Task
 module Timer_irq = Satin_kernel.Timer_irq
 module Vector_table = Satin_kernel.Vector_table
+module Obs = Satin_obs.Obs
 
 type reporter_kind = Tick_reporter | Rt_reporter
 
@@ -42,6 +43,7 @@ type t = {
   mutable detections : detection list; (* newest first *)
   staleness_scale : float;
   lateness_trace : (int * float) Trace.t;
+  last_probe : Sim_time.t option array; (* per-core previous probe instant *)
   mutable record_lateness : bool;
   mutable running : bool;
   mutable hijacked_vector : bool;
@@ -69,11 +71,18 @@ let compare_pass t ~reader =
               { det_core = target; det_time = now t; det_lateness = lateness }
             in
             t.detections <- det :: t.detections;
+            if Obs.enabled () then begin
+              Obs.incr "kprober.suspects";
+              Obs.instant ~time:det.det_time ~track:target ~cat:"attack"
+                ~args:[ ("lateness_s", Satin_obs.Json.float lateness) ]
+                "kprober-suspect"
+            end;
             List.iter (fun f -> f det) t.suspect_hooks
           end
         end
         else if t.suspected.(target) && lateness < t.config.threshold /. 2.0 then begin
           t.suspected.(target) <- false;
+          Obs.incr "kprober.clears";
           List.iter (fun f -> f ~core:target) t.clear_hooks
         end
       end)
@@ -81,6 +90,18 @@ let compare_pass t ~reader =
 
 let next_boundary t =
   Sim_time.until_next_multiple ~period:t.config.period (now t)
+
+let note_probe t ~core =
+  if Obs.enabled () then begin
+    let instant = now t in
+    (match t.last_probe.(core) with
+    | Some prev ->
+        Obs.observe_time "kprober.probe_gap"
+          ~labels:[ ("core", string_of_int core) ]
+          (Sim_time.diff instant prev)
+    | None -> ());
+    t.last_probe.(core) <- Some instant
+  end
 
 let rt_probe_body t ~core ~reports task =
   ignore task;
@@ -91,6 +112,7 @@ let rt_probe_body t ~core ~reports task =
       after =
         (fun () ->
           if reports then Board.report t.board ~core;
+          note_probe t ~core;
           compare_pass t ~reader:core;
           Task.Sleep (next_boundary t));
     }
@@ -129,6 +151,7 @@ let deploy kernel config =
         (let k = List.length watched and n = Platform.ncores platform in
          sqrt (float_of_int (k - 1) /. float_of_int (max 1 (n - 1))));
       lateness_trace = Trace.create ();
+      last_probe = Array.make (Platform.ncores platform) None;
       record_lateness = false;
       running = true;
       hijacked_vector = false;

@@ -301,13 +301,12 @@ let measure_thresholds ~seed ~rounds ~period ~watched =
   (* Per probing round, the threshold is the largest lateness any comparer
      computed in that round (§IV-B2). *)
   let maxima = Hashtbl.create 64 in
-  List.iter
-    (fun e ->
-      let window = e.Trace.time / period in
-      let _, lateness = e.Trace.value in
+  Trace.iter
+    (fun time (_, lateness) ->
+      let window = time / period in
       let cur = try Hashtbl.find maxima window with Not_found -> neg_infinity in
       if lateness > cur then Hashtbl.replace maxima window lateness)
-    (Trace.to_list (Kprober.lateness_trace prober));
+    (Kprober.lateness_trace prober);
   let stats = Stats.create () in
   let windows = Hashtbl.fold (fun w v acc -> (w, v) :: acc) maxima [] in
   let windows = List.sort compare windows in

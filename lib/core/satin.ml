@@ -19,3 +19,4 @@ module Race = Race
 module Experiment = Experiment
 module Report = Report
 module Gantt = Gantt
+module Summary = Summary

@@ -1,6 +1,7 @@
 module Engine = Satin_engine.Engine
 module Sim_time = Satin_engine.Sim_time
 module Platform = Satin_hw.Platform
+module Obs = Satin_obs.Obs
 
 type t = {
   platform : Platform.t;
@@ -18,6 +19,16 @@ let secure_size = 1024 * 1024
 let create ?(seed = 42) ?cycle ?layout ?(algo = Satin_introspect.Hash.Djb2)
     ?(style = Satin_introspect.Checker.Direct_hash) () =
   let platform = Platform.juno_r1 ~seed ?cycle () in
+  if Obs.enabled () then begin
+    Obs.attach_engine platform.Platform.engine;
+    Array.iter
+      (fun cpu ->
+        Obs.name_track (Satin_hw.Cpu.id cpu)
+          (Printf.sprintf "core %d (%s)" (Satin_hw.Cpu.id cpu)
+             (Satin_hw.Cycle_model.core_type_to_string
+                (Satin_hw.Cpu.core_type cpu))))
+      platform.Platform.cores
+  end;
   let kernel = Satin_kernel.Kernel.boot ?layout platform in
   let tsp = Satin_tz.Tsp.install platform in
   let secure_memory =

@@ -1,0 +1,29 @@
+(** Machine-readable summaries of experiment results.
+
+    One function per {!Experiment} result type, each producing a
+    {!Satin_obs.Json.t} mirroring the fields the [print_*] renderers show —
+    the structured counterpart of the paper-shaped tables, consumed by
+    [bench/main.exe --json] and downstream tooling. {!stats} is the shared
+    shape for sample sets: count/mean/min/max plus exact p50/p90/p99. *)
+
+module Json = Satin_obs.Json
+
+val stats : Satin_engine.Stats.t -> Json.t
+(** [Null]-safe: an empty sample set renders as [{"count": 0}]. *)
+
+val e1 : Experiment.e1_result -> Json.t
+val table1 : Experiment.table1_result -> Json.t
+val e3 : Experiment.e3_result -> Json.t
+val uprober : Experiment.uprober_result -> Json.t
+val table2 : Experiment.table2_result -> Json.t
+val e6 : Experiment.e6_result -> Json.t
+val e7 : Experiment.e7_result -> Json.t
+val e8 : Experiment.e8_result -> Json.t
+val e9 : Experiment.e9_result -> Json.t
+val e10 : Experiment.e10_result -> Json.t
+val fig7 : Experiment.fig7_result -> Json.t
+val ablation : Experiment.ablation_result -> Json.t
+val e13 : Experiment.e13_result -> Json.t
+val e14 : Experiment.e14_result -> Json.t
+val sweep : Experiment.sweep_result -> Json.t
+val timeline : Race.params -> Json.t

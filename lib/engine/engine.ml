@@ -3,13 +3,19 @@ type handle = Event_queue.handle
 type t = {
   mutable clock : Sim_time.t;
   queue : (unit -> unit) Event_queue.t;
+  mutable fired : int;
+  mutable observer : (time:Sim_time.t -> pending:int -> unit) option;
 }
 
 exception Schedule_in_past
 
-let create () = { clock = Sim_time.zero; queue = Event_queue.create () }
+let create () =
+  { clock = Sim_time.zero; queue = Event_queue.create (); fired = 0; observer = None }
+
 let now t = t.clock
 let pending t = Event_queue.length t.queue
+let events_fired t = t.fired
+let set_observer t obs = t.observer <- obs
 
 let at t ~time f =
   if time < t.clock then raise Schedule_in_past;
@@ -45,6 +51,10 @@ let step t =
   | Some (time, f) ->
       t.clock <- time;
       f ();
+      t.fired <- t.fired + 1;
+      (match t.observer with
+      | Some obs -> obs ~time:t.clock ~pending:(Event_queue.length t.queue)
+      | None -> ());
       true
 
 let run_until t stop =

@@ -18,6 +18,16 @@ val now : t -> Sim_time.t
 val pending : t -> int
 (** Number of live scheduled events. *)
 
+val events_fired : t -> int
+(** Total events executed so far. *)
+
+val set_observer : t -> (time:Sim_time.t -> pending:int -> unit) option -> unit
+(** [set_observer t (Some f)] calls [f] after each fired event with the
+    instant it ran at and the remaining queue depth — the engine-level
+    observability hook. [None] (the default) removes it; the per-event cost
+    is then a single match. The observer must not assume it runs before or
+    after other same-instant events. *)
+
 val schedule : t -> after:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule t ~after f] runs [f] at [now t + after]. [after] must not be
     negative. *)

@@ -1,39 +1,91 @@
 type 'a event = { time : Sim_time.t; value : 'a }
 
-type 'a t = { mutable events : 'a event list; mutable size : int }
-(* Stored in reverse order; reversed on query. *)
+type 'a t = { mutable data : 'a event array; mutable size : int }
+(* Growable array in recording order: appends are amortized O(1) and the
+   hot consumers (iter/fold, the obs sinks) walk events without the list
+   reversal the old cons-list representation paid on every query. *)
 
-let create () = { events = []; size = 0 }
+let create () = { data = [||]; size = 0 }
 
 let record t time value =
-  t.events <- { time; value } :: t.events;
+  let cap = Array.length t.data in
+  let e = { time; value } in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap e in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- e;
   t.size <- t.size + 1
 
 let length t = t.size
-let to_list t = List.rev t.events
-let values t = List.rev_map (fun e -> e.value) t.events
-let filter p t = List.filter (fun e -> p e.value) (to_list t)
 
-let count p t =
-  List.fold_left (fun acc e -> if p e.value then acc + 1 else acc) 0 t.events
+let iter f t =
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    f e.time e.value
+  done
 
-let find_first p t = List.find_opt (fun e -> p e.value) (to_list t)
-let find_last p t = List.find_opt (fun e -> p e.value) t.events
-let last t = match t.events with [] -> None | e :: _ -> Some e
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    acc := f !acc e.time e.value
+  done;
+  !acc
+
+let to_list t = List.init t.size (fun i -> t.data.(i))
+let values t = List.init t.size (fun i -> t.data.(i).value)
+
+let filter p t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    let e = t.data.(i) in
+    if p e.value then acc := e :: !acc
+  done;
+  !acc
+
+let count p t = fold (fun acc _ value -> if p value then acc + 1 else acc) 0 t
+
+let find_first p t =
+  let rec go i =
+    if i >= t.size then None
+    else if p t.data.(i).value then Some t.data.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find_last p t =
+  let rec go i =
+    if i < 0 then None
+    else if p t.data.(i).value then Some t.data.(i)
+    else go (i - 1)
+  in
+  go (t.size - 1)
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
 
 let gaps p t =
-  let times = List.filter_map (fun e -> if p e.value then Some e.time else None) (to_list t) in
-  let rec pair = function
-    | a :: (b :: _ as rest) -> Sim_time.diff b a :: pair rest
-    | [ _ ] | [] -> []
-  in
-  pair times
+  let acc = ref [] in
+  let prev = ref None in
+  iter
+    (fun time value ->
+      if p value then begin
+        (match !prev with
+        | Some p -> acc := Sim_time.diff time p :: !acc
+        | None -> ());
+        prev := Some time
+      end)
+    t;
+  List.rev !acc
 
 let clear t =
-  t.events <- [];
+  t.data <- [||];
   t.size <- 0
 
 let pp pp_value fmt t =
-  List.iter
-    (fun e -> Format.fprintf fmt "[%a] %a@." Sim_time.pp e.time pp_value e.value)
-    (to_list t)
+  iter
+    (fun time value ->
+      Format.fprintf fmt "[%a] %a@." Sim_time.pp time pp_value value)
+    t

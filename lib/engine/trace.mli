@@ -15,6 +15,14 @@ val record : 'a t -> Sim_time.t -> 'a -> unit
 
 val length : 'a t -> int
 
+val iter : (Sim_time.t -> 'a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f time value] to every event in recording order
+    without materializing an intermediate list — the hot path for trace
+    consumers (exporters, observability sinks). *)
+
+val fold : ('acc -> Sim_time.t -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f init t] folds over events in recording order. *)
+
 val to_list : 'a t -> 'a event list
 (** Events in recording order. *)
 

@@ -1,6 +1,7 @@
 module Engine = Satin_engine.Engine
 module Sim_time = Satin_engine.Sim_time
 module Prng = Satin_engine.Prng
+module Obs = Satin_obs.Obs
 
 type t = {
   engine : Engine.t;
@@ -22,6 +23,13 @@ let enter_secure t ~cpu ~payload ?on_exit () =
     invalid_arg
       (Printf.sprintf "Monitor.enter_secure: core %d already secure" (Cpu.id cpu));
   let entry_cost = sample_switch t ~cpu in
+  if Obs.enabled () then begin
+    let core = Cpu.id cpu in
+    Obs.incr "monitor.smc_calls" ~labels:[ ("core", string_of_int core) ];
+    Obs.observe_time "monitor.switch_entry_cost" entry_cost;
+    Obs.span_begin ~time:(Engine.now t.engine) ~track:core ~cat:"world"
+      "secure-world"
+  end;
   Cpu.set_world cpu World.Secure;
   ignore
     (Engine.schedule t.engine ~after:entry_cost (fun () ->
@@ -34,6 +42,10 @@ let enter_secure t ~cpu ~payload ?on_exit () =
               (fun () ->
                 Cpu.set_world cpu World.Normal;
                 t.switches <- t.switches + 1;
+                if Obs.enabled () then begin
+                  Obs.span_end ~time:(Engine.now t.engine) ~track:(Cpu.id cpu);
+                  Obs.incr "monitor.world_switches"
+                end;
                 Gic.flush_pending t.gic ~core:(Cpu.id cpu)
                   ~world_of_core:(fun () -> Cpu.world cpu);
                 match on_exit with Some f -> f () | None -> ()))))

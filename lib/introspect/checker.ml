@@ -5,6 +5,7 @@ module Memory = Satin_hw.Memory
 module World = Satin_hw.World
 module Cpu = Satin_hw.Cpu
 module Cycle_model = Satin_hw.Cycle_model
+module Obs = Satin_obs.Obs
 
 type style = Direct_hash | Snapshot
 
@@ -125,6 +126,10 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
           (Printf.sprintf "Checker.start_scan: range (%#x,%d) not enrolled" base len)
   in
   t.scans <- t.scans + 1;
+  if Obs.enabled () then begin
+    Obs.incr "checker.scans";
+    Obs.observe "checker.scan_bytes" (float_of_int len)
+  end;
   let rate_s = Cycle_model.sample t.prng (per_byte_triple t (Cpu.core_type core)) in
   let duration = Sim_time.of_sec_f (rate_s *. float_of_int len) in
   let t0 = Engine.now engine in
@@ -180,7 +185,10 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
          let offsets = Hashtbl.fold (fun k () acc -> k :: acc) caught [] in
          let offsets = List.sort compare offsets in
          let tampered = offsets <> [] in
-         if tampered then t.tampered <- t.tampered + 1;
+         if tampered then begin
+           t.tampered <- t.tampered + 1;
+           Obs.incr "checker.tampered_verdicts"
+         end;
          let observed =
            (* Fast path: content back to golden means the observed hash is
               the authorized one — spare the streaming hash. *)

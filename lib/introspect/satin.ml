@@ -7,6 +7,7 @@ module Cpu = Satin_hw.Cpu
 module Timer = Satin_hw.Timer
 module Monitor = Satin_hw.Monitor
 module Secure_memory = Satin_tz.Secure_memory
+module Obs = Satin_obs.Obs
 
 type config = {
   t_goal : Sim_time.t;
@@ -150,6 +151,15 @@ let handle t ~core =
         ~payload:(fun () ->
           let area = next_area t in
           let scan_started = Engine.now engine in
+          if Obs.enabled () then
+            Obs.span_begin ~time:scan_started ~track:core ~cat:"introspect"
+              ~args:
+                [
+                  ("area", Satin_obs.Json.Int area.Area.index);
+                  ("base", Satin_obs.Json.Int area.Area.base);
+                  ("len", Satin_obs.Json.Int area.Area.size);
+                ]
+              (Printf.sprintf "check area %d" area.Area.index);
           let duration =
             Checker.start_scan t.checker ~engine ~core:cpu ~base:area.Area.base
               ~len:area.Area.size
@@ -167,8 +177,22 @@ let handle t ~core =
                     verdict;
                   }
                 in
+                if Obs.enabled () then begin
+                  Obs.span_end ~time:(Engine.now engine) ~track:core;
+                  Obs.incr "satin.rounds";
+                  Obs.observe_time "satin.check_duration"
+                    ~labels:[ ("area", string_of_int area.Area.index) ]
+                    round.Round.duration
+                end;
                 if verdict.Checker.v_tampered then begin
                   t.detections <- t.detections + 1;
+                  if Obs.enabled () then begin
+                    Obs.incr "satin.detections";
+                    Obs.instant ~time:(Engine.now engine) ~track:core
+                      ~cat:"alarm"
+                      ~args:[ ("area", Satin_obs.Json.Int area.Area.index) ]
+                      "detection"
+                  end;
                   Trace.record t.alarms (Engine.now engine) round
                 end;
                 Trace.record t.trace (Engine.now engine) round;

@@ -2,6 +2,7 @@ module Engine = Satin_engine.Engine
 module Sim_time = Satin_engine.Sim_time
 module Cpu = Satin_hw.Cpu
 module Platform = Satin_hw.Platform
+module Obs = Satin_obs.Obs
 
 module Params = struct
   let sched_latency = Sim_time.us 6_000
@@ -31,6 +32,9 @@ type t = {
   mutable enqueue_hooks : (core:int -> unit) list;
   mutable switches : int;
   mutable spawned : (int, unit) Hashtbl.t;
+  rt_enqueued : (int, Sim_time.t) Hashtbl.t;
+      (* task id -> enqueue instant, for the RT dispatch-latency metric;
+         populated only while an observability sink is installed *)
 }
 
 let exited task = Task.state task = Task.Exited
@@ -113,6 +117,15 @@ let rec dispatch ?(fuel = 64) t cs =
         Task.set_state task Task.Running;
         Task.incr_dispatches task;
         t.switches <- t.switches + 1;
+        if Obs.enabled () then begin
+          Obs.incr "sched.dispatches";
+          match Task.policy task, Hashtbl.find_opt t.rt_enqueued (Task.id task) with
+          | Task.Rt_fifo _, Some enq ->
+              Hashtbl.remove t.rt_enqueued (Task.id task);
+              Obs.observe_time "sched.rt_dispatch_latency"
+                (Sim_time.diff (Engine.now t.engine) enq)
+          | _ -> ()
+        end;
         begin_step t cs task ~fuel
   end
 
@@ -228,6 +241,9 @@ and preempt t cs =
       (match Task.policy r.r_task with
       | Task.Rt_fifo _ -> insert_rt cs r.r_task ~front:true
       | Task.Cfs -> insert_cfs cs r.r_task);
+      if Obs.enabled () then
+        Obs.incr "sched.preemptions"
+          ~labels:[ ("core", string_of_int (Cpu.id cs.cpu)) ];
       cs.cur <- None
 
 and wake t task =
@@ -280,7 +296,10 @@ and least_loaded_normal t =
 and enqueue t core task =
   let cs = t.cores.(core) in
   (match Task.policy task with
-  | Task.Rt_fifo _ -> insert_rt cs task ~front:false
+  | Task.Rt_fifo _ ->
+      if Obs.enabled () then
+        Hashtbl.replace t.rt_enqueued (Task.id task) (Engine.now t.engine);
+      insert_rt cs task ~front:false
   | Task.Cfs ->
       (* A waking CFS task must not monopolize: bring it up to the queue's
          current floor. *)
@@ -316,6 +335,7 @@ let create platform =
       enqueue_hooks = [];
       switches = 0;
       spawned = Hashtbl.create 64;
+      rt_enqueued = Hashtbl.create 16;
     }
   in
   Array.iter

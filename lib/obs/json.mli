@@ -1,0 +1,35 @@
+(** Minimal JSON tree, emitter, and parser.
+
+    The observability exports (Chrome trace events, metric snapshots, bench
+    summaries) must be readable by stock tooling — Perfetto, [jq],
+    [python -m json.tool] — so everything funnels through this strictly
+    standard-compliant emitter. The parser exists for the test suite and
+    the CI smoke checks; it accepts exactly the JSON this library needs to
+    round-trip (objects, arrays, strings, numbers, booleans, null). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float : float -> t
+(** Non-finite values become [Null] (JSON has no NaN/infinity). *)
+
+val to_string : t -> string
+(** Compact single-line rendering. Keys are emitted in the given order. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parse of a complete document; trailing
+    non-whitespace is an error. Numbers with a fraction or exponent parse
+    as [Float], others as [Int]. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value under [key] when [json] is an object. *)
+
+val to_list_opt : t -> t list option

@@ -1,0 +1,144 @@
+module Stats = Satin_engine.Stats
+module Sim_time = Satin_engine.Sim_time
+
+type labels = (string * string) list
+
+type series = Counter of int ref | Gauge of float ref | Histogram of Stats.t
+
+type t = {
+  table : (string * labels, series) Hashtbl.t;
+  mutable snaps : Json.t list; (* newest first *)
+}
+
+let create () = { table = Hashtbl.create 64; snaps = [] }
+
+let canonical name labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg
+            (Printf.sprintf "Metrics: duplicate label key %S on metric %S" a name)
+        else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  (name, sorted)
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create t ~name ~labels ~make =
+  let key = canonical name labels in
+  match Hashtbl.find_opt t.table key with
+  | Some s -> s
+  | None ->
+      let s = make () in
+      Hashtbl.replace t.table key s;
+      s
+
+let counter t ?(labels = []) name =
+  match find_or_create t ~name ~labels ~make:(fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %S is already a %s" name
+           (kind_name other))
+
+let gauge t ?(labels = []) name =
+  match find_or_create t ~name ~labels ~make:(fun () -> Gauge (ref 0.0)) with
+  | Gauge r -> r
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Metrics.gauge: %S is already a %s" name (kind_name other))
+
+let histogram t ?(labels = []) name =
+  match
+    find_or_create t ~name ~labels ~make:(fun () -> Histogram (Stats.create ()))
+  with
+  | Histogram s -> s
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S is already a %s" name
+           (kind_name other))
+
+let incr t ?labels ?(by = 1) name =
+  let r = counter t ?labels name in
+  r := !r + by
+
+let set t ?labels name v = gauge t ?labels name := v
+let observe t ?labels name v = Stats.add (histogram t ?labels name) v
+let observe_time t ?labels name d = observe t ?labels name (Sim_time.to_sec_f d)
+
+let series_count t = Hashtbl.length t.table
+
+let lookup t name labels = Hashtbl.find_opt t.table (canonical name labels)
+
+let counter_value t ?(labels = []) name =
+  match lookup t name labels with Some (Counter r) -> Some !r | _ -> None
+
+let gauge_value t ?(labels = []) name =
+  match lookup t name labels with Some (Gauge r) -> Some !r | _ -> None
+
+let histogram_stats t ?(labels = []) name =
+  match lookup t name labels with Some (Histogram s) -> Some s | _ -> None
+
+(* ---- snapshots ---- *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let series_json name labels = function
+  | Counter r ->
+      Json.Obj
+        [ ("name", Json.String name); ("labels", labels_json labels);
+          ("value", Json.Int !r) ]
+  | Gauge r ->
+      Json.Obj
+        [ ("name", Json.String name); ("labels", labels_json labels);
+          ("value", Json.float !r) ]
+  | Histogram s ->
+      let quantile q = if Stats.is_empty s then Json.Null else Json.float (Stats.quantile s q) in
+      let stat f = if Stats.is_empty s then Json.Null else Json.float (f s) in
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("labels", labels_json labels);
+          ("count", Json.Int (Stats.count s));
+          ("total", stat Stats.total);
+          ("mean", stat Stats.mean);
+          ("min", stat Stats.min);
+          ("max", stat Stats.max);
+          ("p50", quantile 0.5);
+          ("p90", quantile 0.9);
+          ("p99", quantile 0.99);
+        ]
+
+let snapshot t ~at =
+  let entries =
+    Hashtbl.fold (fun (name, labels) s acc -> (name, labels, s) :: acc) t.table []
+  in
+  let entries =
+    List.sort
+      (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+      entries
+  in
+  let bucket kind =
+    List.filter_map
+      (fun (name, labels, s) ->
+        if String.equal (kind_name s) kind then Some (series_json name labels s)
+        else None)
+      entries
+  in
+  Json.Obj
+    [
+      ("at", Json.float (Sim_time.to_sec_f at));
+      ("counters", Json.List (bucket "counter"));
+      ("gauges", Json.List (bucket "gauge"));
+      ("histograms", Json.List (bucket "histogram"));
+    ]
+
+let record_snapshot t ~at = t.snaps <- snapshot t ~at :: t.snaps
+
+let snapshots t = List.rev t.snaps

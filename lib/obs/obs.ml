@@ -1,0 +1,113 @@
+module Sim_time = Satin_engine.Sim_time
+module Engine = Satin_engine.Engine
+
+type t = {
+  metrics : Metrics.t;
+  tracing : Tracing.t;
+  mutable horizon : Sim_time.t;
+}
+
+let current_state : t option ref = ref None
+
+let create () =
+  { metrics = Metrics.create (); tracing = Tracing.create (); horizon = Sim_time.zero }
+
+let metrics t = t.metrics
+let tracing t = t.tracing
+
+let install t = current_state := Some t
+let uninstall () = current_state := None
+
+let current () = !current_state
+let enabled () = !current_state <> None
+
+let touch s time = if time > s.horizon then s.horizon <- time
+
+(* ---- hook entry points ---- *)
+
+let incr ?labels ?by name =
+  match !current_state with
+  | None -> ()
+  | Some s -> Metrics.incr s.metrics ?labels ?by name
+
+let set_gauge ?labels name v =
+  match !current_state with
+  | None -> ()
+  | Some s -> Metrics.set s.metrics ?labels name v
+
+let observe ?labels name v =
+  match !current_state with
+  | None -> ()
+  | Some s -> Metrics.observe s.metrics ?labels name v
+
+let observe_time ?labels name d =
+  match !current_state with
+  | None -> ()
+  | Some s -> Metrics.observe_time s.metrics ?labels name d
+
+let span_begin ~time ~track ?cat ?args name =
+  match !current_state with
+  | None -> ()
+  | Some s ->
+      touch s time;
+      Tracing.begin_span s.tracing ~time ~track ?cat ?args name
+
+let span_end ~time ~track =
+  match !current_state with
+  | None -> ()
+  | Some s ->
+      touch s time;
+      Tracing.end_span s.tracing ~time ~track
+
+let instant ~time ~track ?cat ?args name =
+  match !current_state with
+  | None -> ()
+  | Some s ->
+      touch s time;
+      Tracing.instant s.tracing ~time ~track ?cat ?args name
+
+let name_track track name =
+  match !current_state with
+  | None -> ()
+  | Some s -> Tracing.set_track_name s.tracing track name
+
+let attach_engine engine =
+  match !current_state with
+  | None -> ()
+  | Some s ->
+      let fired = Metrics.counter s.metrics "engine.events_fired" in
+      let depth = Metrics.gauge s.metrics "engine.queue_depth" in
+      Engine.set_observer engine
+        (Some
+           (fun ~time ~pending ->
+             fired := !fired + 1;
+             depth := float_of_int pending;
+             touch s time))
+
+(* ---- exports ---- *)
+
+let horizon t = t.horizon
+
+let trace_json t = Tracing.to_chrome_json t.tracing
+
+let metrics_json t =
+  let final = Metrics.snapshot t.metrics ~at:(horizon t) in
+  Json.Obj
+    [
+      ("schema", Json.String "satin-metrics/v1");
+      ("snapshots", Json.List (Metrics.snapshots t.metrics @ [ final ]));
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_trace t path = write_file path (Json.to_string (trace_json t) ^ "\n")
+
+let write_jsonl t path =
+  write_file path
+    (String.concat "\n" (Tracing.jsonl_lines t.tracing) ^ "\n")
+
+let write_metrics t path = write_file path (Json.to_string (metrics_json t) ^ "\n")

@@ -1,0 +1,84 @@
+(** Observability facade: the one sink the instrumentation hooks talk to.
+
+    The simulation layers (engine, monitor, scheduler, defenses, attacks)
+    are instrumented with calls into this module. With no sink installed —
+    the default — every call is a single match on a global and returns
+    immediately, so experiments pay nothing for the instrumentation. The
+    CLI's [--trace]/[--metrics] flags and the bench harness install a sink
+    around a run and export it afterwards.
+
+    The sink is global (like a {!Logs} reporter) rather than threaded
+    through every constructor: simulated components are built deep inside
+    experiment runners, and the timeline of "the current run" is exactly
+    what the exports capture. Timestamps are always supplied by the caller
+    from its engine clock, so one sink serves any number of scenarios. *)
+
+type t
+
+val create : unit -> t
+
+val metrics : t -> Metrics.t
+val tracing : t -> Tracing.t
+
+val install : t -> unit
+(** Make [t] the current sink. Replaces any previous sink. *)
+
+val uninstall : unit -> unit
+
+val current : unit -> t option
+val enabled : unit -> bool
+
+(** {1 Hook entry points (no-ops when no sink is installed)} *)
+
+val incr : ?labels:Metrics.labels -> ?by:int -> string -> unit
+val set_gauge : ?labels:Metrics.labels -> string -> float -> unit
+val observe : ?labels:Metrics.labels -> string -> float -> unit
+val observe_time : ?labels:Metrics.labels -> string -> Satin_engine.Sim_time.t -> unit
+
+val span_begin :
+  time:Satin_engine.Sim_time.t ->
+  track:int ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  string ->
+  unit
+
+val span_end : time:Satin_engine.Sim_time.t -> track:int -> unit
+
+val instant :
+  time:Satin_engine.Sim_time.t ->
+  track:int ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  string ->
+  unit
+
+val name_track : int -> string -> unit
+
+val attach_engine : Satin_engine.Engine.t -> unit
+(** Register the engine-level observer: every fired event bumps the
+    ["engine.events_fired"] counter and updates the ["engine.queue_depth"]
+    gauge. A no-op (and no observer is installed) when no sink is current,
+    so an un-instrumented run keeps the engine's bare step loop. *)
+
+(** {1 Exports} *)
+
+val horizon : t -> Satin_engine.Sim_time.t
+(** Latest simulated instant any hook reported — the stamp used for the
+    final metrics snapshot. *)
+
+val trace_json : t -> Json.t
+(** Chrome trace-event document (see {!Tracing.to_chrome_json}). *)
+
+val metrics_json : t -> Json.t
+(** [{"schema": ..., "snapshots": [...]}] — any recorded snapshots plus a
+    final one stamped at {!horizon}. *)
+
+val write_trace : t -> string -> unit
+(** Write {!trace_json} to a file. *)
+
+val write_jsonl : t -> string -> unit
+(** Write the structured-event JSONL stream to a file. *)
+
+val write_metrics : t -> string -> unit
+(** Write {!metrics_json} to a file. *)

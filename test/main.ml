@@ -7,6 +7,7 @@ let () =
       ("engine", Test_engine.suite);
       ("stats", Test_stats.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("memory", Test_memory.suite);
       ("cycle_model", Test_cycle_model.suite);
       ("hw_platform", Test_hw_platform.suite);

@@ -1,0 +1,152 @@
+(* The observability layer: metrics registry semantics, Chrome trace-event
+   export (golden), and determinism of exports across same-seed runs. *)
+
+module Json = Satin_obs.Json
+module Metrics = Satin_obs.Metrics
+module Tracing = Satin_obs.Tracing
+module Obs = Satin_obs.Obs
+module Stats = Satin_engine.Stats
+module E = Satin.Experiment
+
+let test_counter () =
+  let m = Metrics.create () in
+  Metrics.incr m "hits";
+  Metrics.incr m ~by:4 "hits";
+  Alcotest.(check (option int)) "accumulates" (Some 5)
+    (Metrics.counter_value m "hits");
+  Alcotest.(check (option int)) "unknown series" None
+    (Metrics.counter_value m "misses");
+  let h = Metrics.counter m "hits" in
+  incr h;
+  Alcotest.(check (option int)) "handle shares storage" (Some 6)
+    (Metrics.counter_value m "hits")
+
+let test_gauge () =
+  let m = Metrics.create () in
+  Metrics.set m "depth" 3.5;
+  Metrics.set m "depth" 1.25;
+  Alcotest.(check (option (float 0.0))) "last write wins" (Some 1.25)
+    (Metrics.gauge_value m "depth")
+
+let test_histogram () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+  match Metrics.histogram_stats m "lat" with
+  | None -> Alcotest.fail "missing histogram"
+  | Some s ->
+      Alcotest.(check int) "count" 4 (Stats.count s);
+      Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+      Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+      Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max s)
+
+let test_label_order_insensitive () =
+  let m = Metrics.create () in
+  Metrics.incr m ~labels:[ ("core", "0"); ("world", "s") ] "x";
+  Metrics.incr m ~labels:[ ("world", "s"); ("core", "0") ] "x";
+  Alcotest.(check int) "one series" 1 (Metrics.series_count m);
+  Alcotest.(check (option int))
+    "both orders hit it" (Some 2)
+    (Metrics.counter_value m ~labels:[ ("core", "0"); ("world", "s") ] "x")
+
+let test_duplicate_label_key () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Metrics: duplicate label key \"core\" on metric \"x\"")
+    (fun () -> Metrics.incr m ~labels:[ ("core", "0"); ("core", "1") ] "x")
+
+let test_kind_mismatch () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Metrics.gauge: \"x\" is already a counter") (fun () ->
+      Metrics.set m "x" 1.0);
+  Alcotest.check_raises "counter reused as histogram"
+    (Invalid_argument "Metrics.histogram: \"x\" is already a counter")
+    (fun () -> Metrics.observe m "x" 1.0);
+  (* Same name under different labels is a distinct series: no clash. *)
+  Metrics.set m ~labels:[ ("k", "v") ] "x" 1.0
+
+(* Golden render of a tiny two-span scenario: a world switch on core 0
+   wrapping an area check, with a detection instant on another track. *)
+let test_chrome_golden () =
+  let tr = Tracing.create () in
+  Tracing.set_track_name tr 0 "core 0";
+  Tracing.begin_span tr ~time:1_000 ~track:0 ~cat:"world" "secure-world";
+  Tracing.begin_span tr ~time:2_500 ~track:0 ~cat:"introspect"
+    ~args:[ ("area", Json.Int 14) ]
+    "check area 14";
+  Tracing.end_span tr ~time:4_000 ~track:0;
+  Tracing.instant tr ~time:4_500 ~track:1 ~cat:"alarm" "detection";
+  Tracing.end_span tr ~time:5_000 ~track:0;
+  let expected =
+    String.concat ""
+      [
+        {|{"traceEvents":[|};
+        {|{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"satin"}},|};
+        {|{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"core 0"}},|};
+        {|{"name":"secure-world","ph":"B","ts":1,"pid":0,"tid":0,"cat":"world"},|};
+        {|{"name":"check area 14","ph":"B","ts":2.5,"pid":0,"tid":0,"cat":"introspect","args":{"area":14}},|};
+        {|{"name":"check area 14","ph":"E","ts":4,"pid":0,"tid":0},|};
+        {|{"name":"detection","ph":"i","ts":4.5,"pid":0,"tid":1,"cat":"alarm","s":"t"},|};
+        {|{"name":"secure-world","ph":"E","ts":5,"pid":0,"tid":0}|};
+        {|],"displayTimeUnit":"ns"}|};
+      ]
+  in
+  let actual = Json.to_string (Tracing.to_chrome_json tr) in
+  Alcotest.(check string) "golden chrome trace" expected actual;
+  (* The export must survive our own strict parser. *)
+  match Json.parse actual with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("export does not reparse: " ^ e)
+
+let test_end_span_pops_innermost () =
+  let tr = Tracing.create () in
+  Tracing.begin_span tr ~time:0 ~track:3 "outer";
+  Tracing.begin_span tr ~time:1 ~track:3 "inner";
+  Tracing.end_span tr ~time:2 ~track:3;
+  Tracing.end_span tr ~time:3 ~track:3;
+  let names =
+    List.filter_map
+      (fun (e : Tracing.event) ->
+        if e.Tracing.ph = Tracing.End then Some e.Tracing.name else None)
+      (Tracing.events tr)
+  in
+  Alcotest.(check (list string)) "LIFO ends" [ "inner"; "outer" ] names
+
+let run_e10_with_obs () =
+  let obs = Obs.create () in
+  Obs.install obs;
+  Fun.protect ~finally:Obs.uninstall (fun () ->
+      ignore (E.run_e10 ~seed:11 ~target_rounds:6 ()));
+  obs
+
+let test_determinism () =
+  let a = run_e10_with_obs () in
+  let b = run_e10_with_obs () in
+  Alcotest.(check string) "trace exports byte-identical"
+    (Json.to_string (Obs.trace_json a))
+    (Json.to_string (Obs.trace_json b));
+  Alcotest.(check string) "metrics exports byte-identical"
+    (Json.to_string (Obs.metrics_json a))
+    (Json.to_string (Obs.metrics_json b));
+  (* And the campaign actually produced spans, not an empty document. *)
+  match Json.member "traceEvents" (Obs.trace_json a) with
+  | Some (Json.List evs) ->
+      Alcotest.(check bool) "non-trivial trace" true (List.length evs > 10)
+  | _ -> Alcotest.fail "missing traceEvents"
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram;
+    Alcotest.test_case "label order insensitivity" `Quick
+      test_label_order_insensitive;
+    Alcotest.test_case "duplicate label key raises" `Quick
+      test_duplicate_label_key;
+    Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
+    Alcotest.test_case "chrome trace golden" `Quick test_chrome_golden;
+    Alcotest.test_case "end_span pops innermost" `Quick
+      test_end_span_pops_innermost;
+    Alcotest.test_case "same-seed exports identical" `Slow test_determinism;
+  ]

@@ -47,6 +47,23 @@ let test_clear () =
   Alcotest.(check int) "cleared" 0 (Trace.length t);
   Alcotest.(check bool) "no last" true (Trace.last t = None)
 
+let test_iter_fold () =
+  let t = make () in
+  let seen = ref [] in
+  Trace.iter (fun time v -> seen := (time, v) :: !seen) t;
+  Alcotest.(check (list (pair int string)))
+    "iter visits in order"
+    [ (10, "a"); (20, "b"); (30, "a"); (45, "c") ]
+    (List.rev !seen);
+  Alcotest.(check int) "fold sums times" 105
+    (Trace.fold (fun acc time _ -> acc + time) 0 t);
+  Alcotest.(check string) "fold concatenates in order" "abac"
+    (Trace.fold (fun acc _ v -> acc ^ v) "" t);
+  let empty : int Trace.t = Trace.create () in
+  Trace.iter (fun _ _ -> Alcotest.fail "iter on empty") empty;
+  Alcotest.(check int) "fold on empty" 7
+    (Trace.fold (fun acc _ _ -> acc + 1) 7 empty)
+
 let test_empty () =
   let t : int Trace.t = Trace.create () in
   Alcotest.(check int) "empty length" 0 (Trace.length t);
@@ -58,6 +75,7 @@ let suite =
     Alcotest.test_case "filter and count" `Quick test_filter_count;
     Alcotest.test_case "find first/last" `Quick test_find;
     Alcotest.test_case "gaps" `Quick test_gaps;
+    Alcotest.test_case "iter and fold" `Quick test_iter_fold;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "empty" `Quick test_empty;
   ]
