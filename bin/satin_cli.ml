@@ -14,6 +14,15 @@ let quick_arg =
   let doc = "Shrink campaign lengths for a fast run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run trial fan-outs on $(docv) domains. Reports are byte-identical \
+     whatever the value; the default 1 keeps every trial on the calling \
+     domain. Ignored (forced back to 1) when --trace/--metrics install an \
+     observability sink."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Export a Chrome trace-event JSON timeline of the run to $(docv); open \
@@ -38,17 +47,21 @@ let with_obs trace metrics f =
       Option.iter (Obs.write_metrics obs) metrics
 
 let simple name doc f =
-  let run seed trace metrics = with_obs trace metrics (fun () -> f seed) in
+  let run seed jobs trace metrics =
+    let pool = Satin_runner.Runner.create ~jobs () in
+    with_obs trace metrics (fun () -> f pool seed)
+  in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ seed_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* Like [simple] but with the [--quick] flag. *)
 let campaign name doc f =
-  let run seed quick trace metrics =
-    with_obs trace metrics (fun () -> f seed quick)
+  let run seed quick jobs trace metrics =
+    let pool = Satin_runner.Runner.create ~jobs () in
+    with_obs trace metrics (fun () -> f pool seed quick)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ seed_arg $ quick_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* Closed-form commands: no seed, but still accept the export flags. *)
 let closed_form name doc f =
@@ -56,29 +69,29 @@ let closed_form name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ trace_arg $ metrics_arg)
 
 let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
-    (fun seed -> E.print_e1 fmt (E.run_e1 ~seed ()))
+    (fun pool seed -> E.print_e1 fmt (E.run_e1 ~pool ~seed ()))
 
 let table1 = simple "table1" "Table I: per-byte introspection cost"
-    (fun seed -> E.print_table1 fmt (E.run_table1 ~seed ()))
+    (fun pool seed -> E.print_table1 fmt (E.run_table1 ~pool ~seed ()))
 
 let e3 = simple "e3" "Attacker recovery time (Sec IV-B2)"
-    (fun seed -> E.print_e3 fmt (E.run_e3 ~seed ()))
+    (fun pool seed -> E.print_e3 fmt (E.run_e3 ~pool ~seed ()))
 
 let uprober = simple "uprober" "User-level prober responsiveness (Sec III-B1)"
-    (fun seed -> E.print_uprober fmt (E.run_uprober ~seed ()))
+    (fun pool seed -> E.print_uprober fmt (E.run_uprober ~pool ~seed ()))
 
 let table2 = campaign "table2" "Table II: probing threshold vs period"
-    (fun seed quick ->
+    (fun pool seed quick ->
       let rounds = if quick then 15 else 50 in
-      E.print_table2 fmt (E.run_table2 ~seed ~rounds ()))
+      E.print_table2 fmt (E.run_table2 ~pool ~seed ~rounds ()))
 
 let fig4 = campaign "fig4" "Figure 4: probing threshold stability"
-    (fun seed quick ->
+    (fun pool seed quick ->
       let rounds = if quick then 15 else 50 in
-      E.print_fig4 fmt (E.run_table2 ~seed ~rounds ()))
+      E.print_fig4 fmt (E.run_table2 ~pool ~seed ~rounds ()))
 
 let e6 = simple "e6" "Single-core vs all-core probing"
-    (fun seed -> E.print_e6 fmt (E.run_e6 ~seed ()))
+    (fun pool seed -> E.print_e6 fmt (E.run_e6 ~pool ~seed ()))
 
 let race = closed_form "race" "Sec IV-C race-condition analysis"
     (fun () -> E.print_e7 fmt (E.run_e7 ()))
@@ -87,42 +100,45 @@ let timeline = closed_form "timeline" "Figure 3: two-world race timeline"
     (fun () -> E.print_timeline fmt Satin.Race.paper_worst_case)
 
 let evasion = campaign "evasion" "E8: TZ-Evader vs PKM-style introspection"
-    (fun seed quick ->
-      E.print_e8 fmt (E.run_e8 ~seed ~duration_s:(if quick then 120 else 400) ()))
+    (fun pool seed quick ->
+      E.print_e8 fmt
+        (E.run_e8 ~pool ~seed ~duration_s:(if quick then 120 else 400) ()))
 
 let areas = closed_form "areas" "E9: kernel area partition"
     (fun () -> E.print_e9 fmt (E.run_e9 ()))
 
 let satin_detect =
   campaign "satin-detect" "E10: SATIN detecting TZ-Evader (Sec VI-B1)"
-    (fun seed quick ->
+    (fun _pool seed quick ->
       E.print_e10 fmt
         (E.run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ()))
 
 let fig7 = campaign "fig7" "Figure 7: SATIN overhead on UnixBench"
-    (fun seed quick ->
-      E.print_fig7 fmt (E.run_fig7 ~seed ~window_s:(if quick then 8 else 30) ()))
+    (fun pool seed quick ->
+      E.print_fig7 fmt
+        (E.run_fig7 ~pool ~seed ~window_s:(if quick then 8 else 30) ()))
 
 let dkom = campaign "dkom" "E13: cross-view detection of DKOM process hiding"
-    (fun seed quick ->
+    (fun _pool seed quick ->
       E.print_e13 fmt (E.run_e13 ~seed ~checks:(if quick then 10 else 30) ()))
 
 let cache_channel =
   campaign "cache-channel" "E14: SATIN vs the cache-occupancy side channel"
-    (fun seed quick ->
+    (fun _pool seed quick ->
       E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ()))
 
 let sweep = campaign "sweep" "Tgoal coverage/overhead sweep"
-    (fun seed quick ->
+    (fun pool seed quick ->
       E.print_tgoal_sweep fmt
-        (E.run_tgoal_sweep ~seed ~trials:(if quick then 2 else 4) ()))
+        (E.run_tgoal_sweep ~pool ~seed ~trials:(if quick then 2 else 4) ()))
 
 let ablation = campaign "ablation" "SATIN randomization ablation"
-    (fun seed quick ->
-      E.print_ablation fmt (E.run_ablation ~seed ~passes:(if quick then 1 else 3) ()))
+    (fun pool seed quick ->
+      E.print_ablation fmt
+        (E.run_ablation ~pool ~seed ~passes:(if quick then 1 else 3) ()))
 
 let all = campaign "all" "Run the whole evaluation in paper order"
-    (fun seed quick -> E.run_all ~seed ~quick fmt)
+    (fun pool seed quick -> E.run_all ~pool ~seed ~quick fmt)
 
 let main =
   let doc = "SATIN (DSN 2019) reproduction: experiments on the simulated Juno r1" in

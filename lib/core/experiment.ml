@@ -18,8 +18,15 @@ module Kprober = Satin_attack.Kprober
 module Rootkit = Satin_attack.Rootkit
 module Evader = Satin_attack.Evader
 module Unixbench = Satin_workload.Unixbench
+module Runner = Satin_runner.Runner
+module Obs = Satin_obs.Obs
 
 let sec = Sim_time.to_sec_f
+
+(* Seed-derivation scheme for parallel trials: trial [i] of an experiment
+   seeded [s] always runs from [Prng.derive s i], whatever domain executes
+   it, so jobs=1 and jobs=N produce byte-identical reports. *)
+let derive = Prng.derive
 
 (* ------------------------------------------------------------------ *)
 (* E1 — world-switch latency                                           *)
@@ -27,18 +34,23 @@ let sec = Sim_time.to_sec_f
 
 type e1_result = { e1_a53 : Stats.t; e1_a57 : Stats.t; e1_runs : int }
 
-let run_e1 ?(seed = 42) ?(runs = 50) () =
-  let platform = Platform.juno_r1 ~seed () in
-  let sample core =
-    let stats = Stats.create () in
-    for _ = 1 to runs do
-      Stats.add_time stats
-        (Monitor.payload_start_delay platform.Platform.monitor
-           ~cpu:(Platform.core platform core))
-    done;
-    stats
-  in
-  { e1_a53 = sample 0; e1_a57 = sample 4; e1_runs = runs }
+(* Trial 0 samples the A53 cluster, trial 1 the A57 cluster, each on its own
+   independently-seeded platform. *)
+let e1_trial ~seed ~runs ~trial_index =
+  let platform = Platform.juno_r1 ~seed:(derive seed trial_index) () in
+  let core = if trial_index = 0 then 0 else 4 in
+  let stats = Stats.create () in
+  for _ = 1 to runs do
+    Stats.add_time stats
+      (Monitor.payload_start_delay platform.Platform.monitor
+         ~cpu:(Platform.core platform core))
+  done;
+  stats
+
+let run_e1 ?(pool = Runner.sequential) ?(seed = 42) ?(runs = 50) () =
+  match Runner.map pool 2 (fun i -> e1_trial ~seed ~runs ~trial_index:i) with
+  | [| a53; a57 |] -> { e1_a53 = a53; e1_a57 = a57; e1_runs = runs }
+  | _ -> assert false
 
 let print_e1 fmt r =
   Format.fprintf fmt "%s"
@@ -68,8 +80,10 @@ type table1_row = {
 
 type table1_result = { t1_rows : table1_row list; t1_verified_clean : bool }
 
-let run_table1 ?(seed = 42) ?(runs = 50) () =
-  let prng = Prng.create seed in
+(* Trial 0 = A53 row, trial 1 = A57 row, each from its own derived Prng. *)
+let table1_trial ~seed ~runs ~trial_index =
+  let core = if trial_index = 0 then Cycle_model.A53 else Cycle_model.A57 in
+  let prng = Prng.create (derive seed trial_index) in
   let cycle = Cycle_model.default in
   let n = Layout.paper_total_size in
   let per_byte triple =
@@ -80,15 +94,19 @@ let run_table1 ?(seed = 42) ?(runs = 50) () =
     done;
     stats
   in
-  let row core =
-    {
-      t1_core = core;
-      t1_hash = per_byte (cycle.Cycle_model.hash_1byte core);
-      t1_snapshot = per_byte (cycle.Cycle_model.snapshot_1byte core);
-    }
+  {
+    t1_core = core;
+    t1_hash = per_byte (cycle.Cycle_model.hash_1byte core);
+    t1_snapshot = per_byte (cycle.Cycle_model.snapshot_1byte core);
+  }
+
+let run_table1 ?(pool = Runner.sequential) ?(seed = 42) ?(runs = 50) () =
+  let rows =
+    Runner.map pool 2 (fun i -> table1_trial ~seed ~runs ~trial_index:i)
   in
   (* Functional check: a real hash over the installed image matches its
      enrolled value on a quiescent system. *)
+  let n = Layout.paper_total_size in
   let scenario = Scenario.create ~seed () in
   let base = Layout.base scenario.Scenario.kernel.Satin_kernel.Kernel.layout in
   let enrolled = Checker.enroll scenario.Scenario.checker ~base ~len:n in
@@ -97,7 +115,7 @@ let run_table1 ?(seed = 42) ?(runs = 50) () =
       ~world:Satin_hw.World.Secure ~addr:base ~len:n
   in
   {
-    t1_rows = [ row Cycle_model.A53; row Cycle_model.A57 ];
+    t1_rows = Array.to_list rows;
     t1_verified_clean = Int64.equal enrolled rehash;
   }
 
@@ -146,11 +164,16 @@ let measure_recovery ~seed ~runs ~cleanup_core =
   done;
   stats
 
-let run_e3 ?(seed = 42) ?(runs = 50) () =
-  {
-    e3_a53 = measure_recovery ~seed ~runs ~cleanup_core:0;
-    e3_a57 = measure_recovery ~seed:(seed + 1) ~runs ~cleanup_core:4;
-  }
+(* Trial 0 cleans up on an A53, trial 1 on an A57; each campaign already
+   builds its own scenario, so the bodies parallelize as-is. *)
+let e3_trial ~seed ~runs ~trial_index =
+  if trial_index = 0 then measure_recovery ~seed ~runs ~cleanup_core:0
+  else measure_recovery ~seed:(seed + 1) ~runs ~cleanup_core:4
+
+let run_e3 ?(pool = Runner.sequential) ?(seed = 42) ?(runs = 50) () =
+  match Runner.map pool 2 (fun i -> e3_trial ~seed ~runs ~trial_index:i) with
+  | [| a53; a57 |] -> { e3_a53 = a53; e3_a57 = a57 }
+  | _ -> assert false
 
 let print_e3 fmt r =
   Format.fprintf fmt "%s"
@@ -177,8 +200,14 @@ type uprober_result = {
   up_check_duration_s : float;
 }
 
-let run_uprober ?(seed = 42) ?(trials = 20) () =
-  let scenario = Scenario.create ~seed () in
+(* One trial: a fresh scenario with a busy fair scheduler, a deployed
+   user-level prober, and a full-kernel check started 30 ms into a probing
+   round on core [trial_index mod ncores] (the probe threads are mid-burst).
+   Returns the entry→report delay (None if the prober missed or the core was
+   unavailable) and, on A57 trials, the duration of the full-kernel check
+   (the paper's 8.04e-2 s comparison point). *)
+let uprober_trial ~seed ~trial_index =
+  let scenario = Scenario.create ~seed:(derive seed trial_index) () in
   let platform = scenario.Scenario.platform in
   let engine = Scenario.engine scenario in
   (* Background CFS load so the probe threads ride a busy fair scheduler. *)
@@ -190,26 +219,18 @@ let run_uprober ?(seed = 42) ?(trials = 20) () =
     Satin_attack.Uprober.deploy scenario.Scenario.kernel
       Satin_attack.Uprober.default_config
   in
-  (* Measure one full-kernel integrity check on an A57 for the comparison
-     the paper makes (8.04e-2 s). *)
   let layout = scenario.Scenario.kernel.Satin_kernel.Kernel.layout in
   let kbase = Layout.base layout and klen = Layout.total_size layout in
   ignore (Checker.enroll scenario.Scenario.checker ~base:kbase ~len:klen);
-  let check_duration = ref 0.0 in
-  let delays = Stats.create () in
-  let detected = ref 0 in
-  (* Each trial: start a full-kernel check 30 ms into a probing round (the
-     probe threads are mid-burst), then record how soon the prober reports
-     the vanished core. *)
-  for trial = 0 to trials - 1 do
-    let core = trial mod Platform.ncores platform in
-    let boundary =
-      Sim_time.scale period
-        (float_of_int ((Engine.now engine / period) + 2))
-    in
-    Engine.run_until engine (Sim_time.add boundary (Sim_time.ms 30));
-    let cpu = Platform.core platform core in
-    if not (Cpu.in_secure cpu) then begin
+  let core = trial_index mod Platform.ncores platform in
+  let boundary =
+    Sim_time.scale period (float_of_int ((Engine.now engine / period) + 2))
+  in
+  Engine.run_until engine (Sim_time.add boundary (Sim_time.ms 30));
+  let cpu = Platform.core platform core in
+  let result =
+    if Cpu.in_secure cpu then (None, None)
+    else begin
       let entry = Engine.now engine in
       Monitor.enter_secure platform.Satin_hw.Platform.monitor ~cpu
         ~payload:(fun () ->
@@ -229,27 +250,47 @@ let run_uprober ?(seed = 42) ?(trials = 20) () =
         end
       in
       wait ();
-      (match
-         List.find_opt
-           (fun d -> d.Kprober.det_core = core && d.Kprober.det_time >= entry)
-           (Satin_attack.Uprober.detections prober)
-       with
+      let delay =
+        Option.map
+          (fun d -> sec (Sim_time.diff d.Kprober.det_time entry))
+          (List.find_opt
+             (fun d -> d.Kprober.det_core = core && d.Kprober.det_time >= entry)
+             (Satin_attack.Uprober.detections prober))
+      in
+      let check_duration =
+        if Cpu.core_type cpu = Cycle_model.A57 then begin
+          Engine.run_until engine
+            (Sim_time.add (Engine.now engine) (Sim_time.ms 200));
+          match (Cpu.last_exit_time cpu, Cpu.last_entry_time cpu) with
+          | Some ex, Some en -> Some (sec (Sim_time.diff ex en))
+          | _ -> None
+        end
+        else None
+      in
+      (delay, check_duration)
+    end
+  in
+  Satin_attack.Uprober.retire prober;
+  result
+
+let run_uprober ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 20) () =
+  let results =
+    Runner.map pool trials (fun i -> uprober_trial ~seed ~trial_index:i)
+  in
+  let delays = Stats.create () in
+  let detected = ref 0 in
+  let check_duration = ref 0.0 in
+  Array.iter
+    (fun (delay, dur) ->
+      (match delay with
       | Some d ->
           incr detected;
-          Stats.add delays (sec (Sim_time.diff d.Kprober.det_time entry))
+          Stats.add delays d
       | None -> ());
-      (* Record the comparison figure (the paper quotes 8.04e-2 s on an
-         A57) only from A57 trials. *)
-      if Cpu.core_type cpu = Cycle_model.A57 then begin
-        Engine.run_until engine (Sim_time.add (Engine.now engine) (Sim_time.ms 200));
-        match Cpu.last_exit_time cpu, Cpu.last_entry_time cpu with
-        | Some ex, Some en when !check_duration = 0.0 ->
-            check_duration := sec (Sim_time.diff ex en)
-        | _ -> ()
-      end
-    end
-  done;
-  Satin_attack.Uprober.retire prober;
+      match dur with
+      | Some d when !check_duration = 0.0 -> check_duration := d
+      | _ -> ())
+    results;
   {
     up_delays = delays;
     up_trials = trials;
@@ -317,19 +358,27 @@ let measure_thresholds ~seed ~rounds ~period ~watched =
 
 let default_periods = [ 8.0; 16.0; 30.0; 120.0; 300.0 ]
 
-let run_table2 ?(seed = 42) ?(rounds = 50) ?(periods_s = default_periods) () =
+(* Each probing period is an independent trial: its own scenario, seeded
+   [seed + 17 * trial_index] exactly as the sequential version always was, so
+   pooled runs reproduce the sequential rows byte for byte. *)
+let table2_trial ~seed ~rounds ~periods ~trial_index =
+  let p = periods.(trial_index) in
+  {
+    t2_period_s = p;
+    t2_thresholds =
+      measure_thresholds
+        ~seed:(seed + (17 * trial_index))
+        ~rounds ~period:(Sim_time.of_sec_f p) ~watched:[];
+  }
+
+let run_table2 ?(pool = Runner.sequential) ?(seed = 42) ?(rounds = 50)
+    ?(periods_s = default_periods) () =
+  let periods = Array.of_list periods_s in
   let rows =
-    List.mapi
-      (fun i p ->
-        {
-          t2_period_s = p;
-          t2_thresholds =
-            measure_thresholds ~seed:(seed + (17 * i)) ~rounds
-              ~period:(Sim_time.of_sec_f p) ~watched:[];
-        })
-      periods_s
+    Runner.map pool (Array.length periods) (fun i ->
+        table2_trial ~seed ~rounds ~periods ~trial_index:i)
   in
-  { t2_rows = rows; t2_rounds = rounds }
+  { t2_rows = Array.to_list rows; t2_rounds = rounds }
 
 let print_table2 fmt r =
   Format.fprintf fmt "%s"
@@ -375,14 +424,20 @@ let print_fig4 fmt r =
 
 type e6_result = { e6_all_avg : float; e6_single_avg : float; e6_ratio : float }
 
-let run_e6 ?(seed = 42) ?(rounds = 50) () =
+(* Trial 0 probes all six cores; trial 1 pins one Reporter on the target core
+   and Reporter+Comparer on another (§IV-A1's single-core probing setup).
+   Seeds match the historical sequential derivation. *)
+let e6_trial ~seed ~rounds ~trial_index =
   let period = Sim_time.s 8 in
-  let all = measure_thresholds ~seed ~rounds ~period ~watched:[] in
-  (* One Reporter pinned on the target core, Reporter+Comparer on another
-     (§IV-A1's single-core probing setup). *)
-  let single = measure_thresholds ~seed:(seed + 1) ~rounds ~period ~watched:[ 0; 1 ] in
-  let e6_all_avg = Stats.mean all and e6_single_avg = Stats.mean single in
-  { e6_all_avg; e6_single_avg; e6_ratio = e6_single_avg /. e6_all_avg }
+  if trial_index = 0 then measure_thresholds ~seed ~rounds ~period ~watched:[]
+  else measure_thresholds ~seed:(seed + 1) ~rounds ~period ~watched:[ 0; 1 ]
+
+let run_e6 ?(pool = Runner.sequential) ?(seed = 42) ?(rounds = 50) () =
+  match Runner.map pool 2 (fun i -> e6_trial ~seed ~rounds ~trial_index:i) with
+  | [| all; single |] ->
+      let e6_all_avg = Stats.mean all and e6_single_avg = Stats.mean single in
+      { e6_all_avg; e6_single_avg; e6_ratio = e6_single_avg /. e6_all_avg }
+  | _ -> assert false
 
 let print_e6 fmt r =
   Format.fprintf fmt "%s"
@@ -484,15 +539,22 @@ let run_e8_campaign ~seed ~duration_s ~target_addr =
     e8_reaction = reaction;
   }
 
-let run_e8 ?(seed = 42) ?(duration_s = 400) () =
-  let layout = Layout.paper_layout () in
-  let vec = Layout.vector_table layout in
-  {
-    e8_deep = run_e8_campaign ~seed ~duration_s ~target_addr:None;
-    e8_shallow =
-      run_e8_campaign ~seed:(seed + 1) ~duration_s
-        ~target_addr:(Some (vec.Layout.sym_addr + 0x280));
-  }
+(* Trial 0: GETTID hijack deep in the unprotected zone; trial 1: IRQ-vector
+   hijack near the image start. Seeds match the historical sequential run. *)
+let e8_trial ~seed ~duration_s ~trial_index =
+  if trial_index = 0 then run_e8_campaign ~seed ~duration_s ~target_addr:None
+  else
+    let layout = Layout.paper_layout () in
+    let vec = Layout.vector_table layout in
+    run_e8_campaign ~seed:(seed + 1) ~duration_s
+      ~target_addr:(Some (vec.Layout.sym_addr + 0x280))
+
+let run_e8 ?(pool = Runner.sequential) ?(seed = 42) ?(duration_s = 400) () =
+  match
+    Runner.map pool 2 (fun i -> e8_trial ~seed ~duration_s ~trial_index:i)
+  with
+  | [| deep; shallow |] -> { e8_deep = deep; e8_shallow = shallow }
+  | _ -> assert false
 
 let print_e8_campaign fmt label c =
   Format.fprintf fmt "%s"
@@ -745,21 +807,40 @@ let fig7_score ~seed ~window_s ~program ~copies ~with_satin =
   Unixbench.stop inst;
   s
 
-let run_fig7 ?(seed = 42) ?(window_s = 30) () =
-  let degradation program copies =
-    let off = fig7_score ~seed ~window_s ~program ~copies ~with_satin:false in
-    let on = fig7_score ~seed ~window_s ~program ~copies ~with_satin:true in
+(* Each (program, copies, satin on/off) cell is one trial with its own
+   scenario at the same seed — exactly what the sequential loop always built,
+   so pooled runs reproduce sequential scores byte for byte. Trials are
+   flattened as program-major: [trial_index / 4] picks the program,
+   [(trial_index / 2) mod 2] the copy count, [trial_index mod 2] on/off. *)
+let fig7_trial ~seed ~window_s ~trial_index =
+  let programs = Array.of_list Unixbench.programs in
+  let program = programs.(trial_index / 4) in
+  let copies = if trial_index / 2 mod 2 = 0 then 1 else 6 in
+  let with_satin = trial_index mod 2 = 1 in
+  fig7_score ~seed ~window_s ~program ~copies ~with_satin
+
+let run_fig7 ?(pool = Runner.sequential) ?(seed = 42) ?(window_s = 30) () =
+  let programs = Array.of_list Unixbench.programs in
+  let scores =
+    Runner.map pool
+      (4 * Array.length programs)
+      (fun i -> fig7_trial ~seed ~window_s ~trial_index:i)
+  in
+  let degradation ~off ~on =
     if off <= 0.0 then 0.0 else 100.0 *. (off -. on) /. off
   in
   let rows =
-    List.map
-      (fun p ->
+    List.mapi
+      (fun pi p ->
+        let base = 4 * pi in
         {
           f7_program = p.Unixbench.prog_name;
-          f7_deg_1task = degradation p 1;
-          f7_deg_6task = degradation p 6;
+          f7_deg_1task =
+            degradation ~off:scores.(base) ~on:scores.(base + 1);
+          f7_deg_6task =
+            degradation ~off:scores.(base + 2) ~on:scores.(base + 3);
         })
-      Unixbench.programs
+      (Array.to_list programs)
   in
   let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int (List.length rows) in
   {
@@ -906,7 +987,9 @@ let run_ablation_variant ~seed ~passes ~config ~attacker =
     ab_attack_uptime = sec (Rootkit.attack_uptime rootkit) /. sec span;
   }
 
-let run_ablation ?(seed = 42) ?(passes = 3) () =
+(* The four de-randomization variants, each an independent trial at the
+   historical [seed + k] derivation. *)
+let ablation_trial ~seed ~passes ~trial_index =
   let full = Satin_def.default_config in
   let fixed_period = { full with Satin_def.randomize_period = false } in
   let fixed_all =
@@ -918,22 +1001,28 @@ let run_ablation ?(seed = 42) ?(passes = 3) () =
     }
   in
   let label l r = { r with ab_label = l } in
-  {
-    ab_rows =
-      [
-        label "full SATIN vs reactive evader"
-          (run_ablation_variant ~seed ~passes ~config:full ~attacker:`Reactive);
-        label "full SATIN vs predictive evader"
-          (run_ablation_variant ~seed:(seed + 1) ~passes ~config:full
-             ~attacker:(`Predictive false));
-        label "fixed period vs predictive evader"
-          (run_ablation_variant ~seed:(seed + 2) ~passes ~config:fixed_period
-             ~attacker:(`Predictive false));
-        label "fixed period+core+order vs area-aware evader"
-          (run_ablation_variant ~seed:(seed + 3) ~passes ~config:fixed_all
-             ~attacker:(`Predictive true));
-      ];
-  }
+  match trial_index with
+  | 0 ->
+      label "full SATIN vs reactive evader"
+        (run_ablation_variant ~seed ~passes ~config:full ~attacker:`Reactive)
+  | 1 ->
+      label "full SATIN vs predictive evader"
+        (run_ablation_variant ~seed:(seed + 1) ~passes ~config:full
+           ~attacker:(`Predictive false))
+  | 2 ->
+      label "fixed period vs predictive evader"
+        (run_ablation_variant ~seed:(seed + 2) ~passes ~config:fixed_period
+           ~attacker:(`Predictive false))
+  | _ ->
+      label "fixed period+core+order vs area-aware evader"
+        (run_ablation_variant ~seed:(seed + 3) ~passes ~config:fixed_all
+           ~attacker:(`Predictive true))
+
+let run_ablation ?(pool = Runner.sequential) ?(seed = 42) ?(passes = 3) () =
+  let rows =
+    Runner.map pool 4 (fun i -> ablation_trial ~seed ~passes ~trial_index:i)
+  in
+  { ab_rows = Array.to_list rows }
 
 let print_ablation fmt r =
   Format.fprintf fmt "%s"
@@ -1220,41 +1309,61 @@ let time_to_first_alarm ~seed ~tp_s =
   | alarm :: _ -> Some (sec (Sim_time.diff alarm.Round.started armed_at))
   | [] -> None
 
-let run_tgoal_sweep ?(seed = 42) ?(trials = 4) ?(tps_s = [ 0.5; 1.0; 2.0; 4.0 ]) ()
-    =
+(* One detection-latency trial: tp picked by [trial_index / trials], the
+   historical [seed + trial * 31] derivation within each tp. *)
+let sweep_latency_trial ~seed ~trials ~tps ~trial_index =
+  let tp_s = tps.(trial_index / trials) in
+  time_to_first_alarm ~seed:(seed + (trial_index mod trials * 31)) ~tp_s
+
+(* One overhead trial: the worst-case workload (file copy 256B) at cadence
+   [tps.(trial_index / 2)], with SATIN off (even index) or on (odd). *)
+let sweep_score_trial ~seed ~tps ~trial_index =
+  let tp_s = tps.(trial_index / 2) in
+  let with_satin = trial_index mod 2 = 1 in
+  let program = Unixbench.find_program "file_copy_256" in
+  let t_goal_s = int_of_float (Float.round (tp_s *. 19.0)) in
+  let s = Scenario.create ~seed () in
+  if with_satin then
+    ignore
+      (Scenario.install_satin s
+         ~config:
+           {
+             Satin_def.default_config with
+             Satin_def.t_goal = Sim_time.s (max 1 t_goal_s);
+           }
+         ());
+  let inst = Unixbench.launch s.Scenario.kernel program ~copies:1 () in
+  Scenario.run_for s (Sim_time.s 20);
+  Unixbench.score inst ~at:(Scenario.now s)
+
+let run_tgoal_sweep ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 4)
+    ?(tps_s = [ 0.5; 1.0; 2.0; 4.0 ]) () =
+  let tps = Array.of_list tps_s in
+  let ntps = Array.length tps in
+  let latencies =
+    Runner.map pool (ntps * trials) (fun i ->
+        sweep_latency_trial ~seed ~trials ~tps ~trial_index:i)
+  in
+  let scores =
+    Runner.map pool (ntps * 2) (fun i ->
+        sweep_score_trial ~seed ~tps ~trial_index:i)
+  in
   let rows =
-    List.map
-      (fun tp_s ->
+    List.mapi
+      (fun ti tp_s ->
         let latency = Stats.create () in
         for trial = 0 to trials - 1 do
-          match time_to_first_alarm ~seed:(seed + (trial * 31)) ~tp_s with
+          match latencies.((ti * trials) + trial) with
           | Some l -> Stats.add latency l
           | None -> ()
         done;
-        (* Worst-case workload overhead at this cadence: file copy 256B. *)
-        let program = Unixbench.find_program "file_copy_256" in
-        let t_goal_s = int_of_float (Float.round (tp_s *. 19.0)) in
-        let score with_satin =
-          let s = Scenario.create ~seed () in
-          if with_satin then
-            ignore
-              (Scenario.install_satin s
-                 ~config:
-                   {
-                     Satin_def.default_config with
-                     Satin_def.t_goal = Sim_time.s (max 1 t_goal_s);
-                   }
-                 ());
-          let inst = Unixbench.launch s.Scenario.kernel program ~copies:1 () in
-          Scenario.run_for s (Sim_time.s 20);
-          Unixbench.score inst ~at:(Scenario.now s)
-        in
-        let off = score false and on = score true in
+        let off = scores.(2 * ti) and on = scores.((2 * ti) + 1) in
         {
           sw_tp_s = tp_s;
           sw_tgoal_s = tp_s *. 19.0;
           sw_detect_latency = latency;
-          sw_overhead_pct = (if off <= 0.0 then 0.0 else 100.0 *. (off -. on) /. off);
+          sw_overhead_pct =
+            (if off <= 0.0 then 0.0 else 100.0 *. (off -. on) /. off);
         })
       tps_s
   in
@@ -1285,26 +1394,49 @@ let print_tgoal_sweep fmt r =
 (* run_all                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_all ?(seed = 42) ?(quick = false) fmt =
+(* Run [f], record its wall-clock under experiment.wall_s{experiment=name},
+   and hand the result to [print]. Wall-clock goes to the metrics sink only —
+   never into the report — so pooled and sequential reports stay identical. *)
+let timed name print fmt f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Obs.observe "experiment.wall_s"
+    ~labels:[ ("experiment", name) ]
+    (Unix.gettimeofday () -. t0);
+  print fmt r
+
+let run_all ?(pool = Runner.sequential) ?(seed = 42) ?(quick = false) fmt =
   let rounds = if quick then 15 else 50 in
-  print_e1 fmt (run_e1 ~seed ());
-  print_table1 fmt (run_table1 ~seed ());
-  print_uprober fmt (run_uprober ~seed ~trials:(if quick then 6 else 20) ());
-  print_e3 fmt (run_e3 ~seed ~runs:(if quick then 10 else 50) ());
-  let t2 = run_table2 ~seed ~rounds () in
-  print_table2 fmt t2;
-  print_fig4 fmt t2;
-  print_e6 fmt (run_e6 ~seed ~rounds ());
+  timed "e1" print_e1 fmt (fun () -> run_e1 ~pool ~seed ());
+  timed "table1" print_table1 fmt (fun () -> run_table1 ~pool ~seed ());
+  timed "uprober" print_uprober fmt (fun () ->
+      run_uprober ~pool ~seed ~trials:(if quick then 6 else 20) ());
+  timed "e3" print_e3 fmt (fun () ->
+      run_e3 ~pool ~seed ~runs:(if quick then 10 else 50) ());
+  let t2 = ref None in
+  timed "table2" print_table2 fmt (fun () ->
+      let r = run_table2 ~pool ~seed ~rounds () in
+      t2 := Some r;
+      r);
+  (match !t2 with Some r -> print_fig4 fmt r | None -> assert false);
+  timed "e6" print_e6 fmt (fun () -> run_e6 ~pool ~seed ~rounds ());
   print_e7 fmt (run_e7 ());
   print_timeline fmt Race.paper_worst_case;
-  print_e8 fmt (run_e8 ~seed ~duration_s:(if quick then 120 else 400) ());
+  timed "e8" print_e8 fmt (fun () ->
+      run_e8 ~pool ~seed ~duration_s:(if quick then 120 else 400) ());
   print_e9 fmt (run_e9 ());
-  print_e10 fmt (run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ());
-  print_fig7 fmt (run_fig7 ~seed ~window_s:(if quick then 8 else 30) ());
-  print_ablation fmt (run_ablation ~seed ~passes:(if quick then 1 else 3) ());
-  print_e13 fmt (run_e13 ~seed ~checks:(if quick then 10 else 30) ());
-  print_e14 fmt (run_e14 ~seed ~passes:(if quick then 1 else 3) ());
-  print_tgoal_sweep fmt
-    (run_tgoal_sweep ~seed ~trials:(if quick then 2 else 4)
-       ~tps_s:(if quick then [ 1.0; 4.0 ] else [ 0.5; 1.0; 2.0; 4.0 ])
-       ())
+  timed "e10" print_e10 fmt (fun () ->
+      run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ());
+  timed "fig7" print_fig7 fmt (fun () ->
+      run_fig7 ~pool ~seed ~window_s:(if quick then 8 else 30) ());
+  timed "ablation" print_ablation fmt (fun () ->
+      run_ablation ~pool ~seed ~passes:(if quick then 1 else 3) ());
+  timed "e13" print_e13 fmt (fun () ->
+      run_e13 ~seed ~checks:(if quick then 10 else 30) ());
+  timed "e14" print_e14 fmt (fun () ->
+      run_e14 ~seed ~passes:(if quick then 1 else 3) ());
+  timed "tgoal_sweep" print_tgoal_sweep fmt (fun () ->
+      run_tgoal_sweep ~pool ~seed
+        ~trials:(if quick then 2 else 4)
+        ~tps_s:(if quick then [ 1.0; 4.0 ] else [ 0.5; 1.0; 2.0; 4.0 ])
+        ())

@@ -8,12 +8,23 @@
 
 module Stats = Satin_engine.Stats
 module Cycle_model = Satin_hw.Cycle_model
+module Runner = Satin_runner.Runner
+
+(** Every fan-out below is expressed as a pure trial body — a function of the
+    experiment seed and a [trial_index] that builds its own scenario/PRNG from
+    a derived seed — routed through a {!Runner.t}. [?pool] defaults to
+    {!Runner.sequential}; passing a parallel pool changes wall-clock time
+    only, never results: trial [i] is seeded identically whichever domain
+    runs it and results are merged in submission order. *)
 
 (** {1 E1 — world-switch latency (§IV-B1)} *)
 
 type e1_result = { e1_a53 : Stats.t; e1_a57 : Stats.t; e1_runs : int }
 
-val run_e1 : ?seed:int -> ?runs:int -> unit -> e1_result
+val e1_trial : seed:int -> runs:int -> trial_index:int -> Stats.t
+(** Trial 0 samples the A53 cluster, trial 1 the A57 cluster. *)
+
+val run_e1 : ?pool:Runner.t -> ?seed:int -> ?runs:int -> unit -> e1_result
 val print_e1 : Format.formatter -> e1_result -> unit
 
 (** {1 Table I — secure-world introspection time per byte} *)
@@ -26,14 +37,22 @@ type table1_row = {
 
 type table1_result = { t1_rows : table1_row list; t1_verified_clean : bool }
 
-val run_table1 : ?seed:int -> ?runs:int -> unit -> table1_result
+val table1_trial : seed:int -> runs:int -> trial_index:int -> table1_row
+(** Trial 0 is the A53 row, trial 1 the A57 row. *)
+
+val run_table1 :
+  ?pool:Runner.t -> ?seed:int -> ?runs:int -> unit -> table1_result
+
 val print_table1 : Format.formatter -> table1_result -> unit
 
 (** {1 E3 — attacker recovery time (§IV-B2)} *)
 
 type e3_result = { e3_a53 : Stats.t; e3_a57 : Stats.t }
 
-val run_e3 : ?seed:int -> ?runs:int -> unit -> e3_result
+val e3_trial : seed:int -> runs:int -> trial_index:int -> Stats.t
+(** Trial 0 cleans up on an A53, trial 1 on an A57. *)
+
+val run_e3 : ?pool:Runner.t -> ?seed:int -> ?runs:int -> unit -> e3_result
 val print_e3 : Format.formatter -> e3_result -> unit
 
 (** {1 E2b — user-level prober responsiveness (§III-B1)} *)
@@ -50,7 +69,15 @@ type uprober_result = {
           8.04×10⁻² s comparison point *)
 }
 
-val run_uprober : ?seed:int -> ?trials:int -> unit -> uprober_result
+val uprober_trial :
+  seed:int -> trial_index:int -> float option * float option
+(** One probing-responsiveness trial on core [trial_index mod ncores] of a
+    fresh scenario: returns the entry→report delay (None if the prober
+    missed) and, on A57 trials, one full-kernel check duration. *)
+
+val run_uprober :
+  ?pool:Runner.t -> ?seed:int -> ?trials:int -> unit -> uprober_result
+
 val print_uprober : Format.formatter -> uprober_result -> unit
 
 (** {1 Table II / Figure 4 — probing threshold vs probing period} *)
@@ -59,7 +86,19 @@ type table2_row = { t2_period_s : float; t2_thresholds : Stats.t }
 
 type table2_result = { t2_rows : table2_row list; t2_rounds : int }
 
-val run_table2 : ?seed:int -> ?rounds:int -> ?periods_s:float list -> unit -> table2_result
+val table2_trial :
+  seed:int -> rounds:int -> periods:float array -> trial_index:int -> table2_row
+(** One probing period, one row — seeded [seed + 17 * trial_index] as the
+    sequential version always was. *)
+
+val run_table2 :
+  ?pool:Runner.t ->
+  ?seed:int ->
+  ?rounds:int ->
+  ?periods_s:float list ->
+  unit ->
+  table2_result
+
 val print_table2 : Format.formatter -> table2_result -> unit
 val print_fig4 : Format.formatter -> table2_result -> unit
 
@@ -71,7 +110,10 @@ type e6_result = {
   e6_ratio : float; (** single / all (paper: ≈ 1/4) *)
 }
 
-val run_e6 : ?seed:int -> ?rounds:int -> unit -> e6_result
+val e6_trial : seed:int -> rounds:int -> trial_index:int -> Stats.t
+(** Trial 0 probes all six cores, trial 1 the pinned single-core setup. *)
+
+val run_e6 : ?pool:Runner.t -> ?seed:int -> ?rounds:int -> unit -> e6_result
 val print_e6 : Format.formatter -> e6_result -> unit
 
 (** {1 E7 — race-condition analysis (§IV-C)} *)
@@ -101,7 +143,12 @@ type e8_result = {
   e8_shallow : e8_campaign; (** IRQ vector, start of image — caught *)
 }
 
-val run_e8 : ?seed:int -> ?duration_s:int -> unit -> e8_result
+val e8_trial : seed:int -> duration_s:int -> trial_index:int -> e8_campaign
+(** Trial 0 is the deep GETTID hijack, trial 1 the shallow IRQ-vector one. *)
+
+val run_e8 :
+  ?pool:Runner.t -> ?seed:int -> ?duration_s:int -> unit -> e8_result
+
 val print_e8 : Format.formatter -> e8_result -> unit
 
 (** {1 E9 — area partition (§VI-A2)} *)
@@ -164,7 +211,13 @@ type fig7_result = {
   f7_avg_6task : float;
 }
 
-val run_fig7 : ?seed:int -> ?window_s:int -> unit -> fig7_result
+val fig7_trial : seed:int -> window_s:int -> trial_index:int -> float
+(** One UnixBench score: program [trial_index / 4], copies 1 or 6 from
+    [(trial_index / 2) mod 2], SATIN off/on from [trial_index mod 2]. *)
+
+val run_fig7 :
+  ?pool:Runner.t -> ?seed:int -> ?window_s:int -> unit -> fig7_result
+
 val print_fig7 : Format.formatter -> fig7_result -> unit
 
 (** {1 E12 — the Figure 3 race timeline} *)
@@ -182,7 +235,12 @@ type ablation_row = {
 
 type ablation_result = { ab_rows : ablation_row list }
 
-val run_ablation : ?seed:int -> ?passes:int -> unit -> ablation_result
+val ablation_trial : seed:int -> passes:int -> trial_index:int -> ablation_row
+(** The four de-randomization variants, in the table's row order. *)
+
+val run_ablation :
+  ?pool:Runner.t -> ?seed:int -> ?passes:int -> unit -> ablation_result
+
 val print_ablation : Format.formatter -> ablation_result -> unit
 
 (** {1 E13 — cross-view detection of DKOM hiding (beyond the paper)} *)
@@ -235,8 +293,22 @@ type sweep_row = {
 
 type sweep_result = { sw_rows : sweep_row list }
 
+val sweep_latency_trial :
+  seed:int -> trials:int -> tps:float array -> trial_index:int -> float option
+(** One time-to-first-alarm trial at tp [tps.(trial_index / trials)]. *)
+
+val sweep_score_trial :
+  seed:int -> tps:float array -> trial_index:int -> float
+(** One worst-case-workload score at cadence [tps.(trial_index / 2)], SATIN
+    off on even indices and on on odd ones. *)
+
 val run_tgoal_sweep :
-  ?seed:int -> ?trials:int -> ?tps_s:float list -> unit -> sweep_result
+  ?pool:Runner.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?tps_s:float list ->
+  unit ->
+  sweep_result
 (** For each tp, measures mean time-to-first-alarm against a TZ-Evader-
     protected rootkit armed at t = 0, and the worst-case workload overhead
     at the same cadence. Defaults: 4 trials, tp ∈ {0.5, 1, 2, 4} s. *)
@@ -245,7 +317,10 @@ val print_tgoal_sweep : Format.formatter -> sweep_result -> unit
 
 (** {1 Everything} *)
 
-val run_all : ?seed:int -> ?quick:bool -> Format.formatter -> unit
+val run_all : ?pool:Runner.t -> ?seed:int -> ?quick:bool -> Format.formatter -> unit
 (** Runs every experiment and prints every table/figure. [quick] shrinks
     campaign lengths (fewer rounds/passes) for CI-speed runs; the default
-    is the paper-scale campaign. *)
+    is the paper-scale campaign. [pool] parallelizes every trial fan-out;
+    the report is byte-identical whatever the pool's width. Each
+    experiment's wall-clock is recorded under the [experiment.wall_s]
+    metric when an observability sink is installed. *)

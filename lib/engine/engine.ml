@@ -68,8 +68,12 @@ let run_until t stop =
   loop ();
   if t.clock < stop then t.clock <- stop
 
+type outcome = Drained | Limit_hit
+
 let run_all t ?(limit = 100_000_000) () =
   let rec loop n =
-    if n < limit && step t then loop (n + 1)
+    if n >= limit then if pending t > 0 then Limit_hit else Drained
+    else if step t then loop (n + 1)
+    else Drained
   in
   loop 0

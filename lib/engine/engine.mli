@@ -50,9 +50,15 @@ val run_until : t -> Sim_time.t -> unit
 (** Fire all events up to and including the given instant; the clock ends at
     exactly that instant even if the queue empties earlier. *)
 
-val run_all : t -> ?limit:int -> unit -> unit
+type outcome =
+  | Drained  (** the queue emptied *)
+  | Limit_hit  (** [limit] events fired with work still pending *)
+
+val run_all : t -> ?limit:int -> unit -> outcome
 (** Drain the whole queue (bounded by [limit] events, default 100M, to guard
-    against runaway self-rescheduling). *)
+    against runaway self-rescheduling). Returns {!Limit_hit} when the bound
+    stopped the drain with events still pending — a silent truncation here
+    previously masked runaway simulations. *)
 
 val step : t -> bool
 (** Fire the single earliest event. Returns [false] if the queue is empty. *)

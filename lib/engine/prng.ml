@@ -9,6 +9,16 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+let derive seed index =
+  (* Two mix64 rounds over (seed, index) — a full-avalanche combiner, so
+     derived seeds never collide in practice and adjacent indices share no
+     stream structure. *)
+  Int64.to_int
+    (mix64
+       (Int64.add
+          (mix64 (Int64.of_int seed))
+          (Int64.mul golden_gamma (Int64.of_int (index + 1)))))
+
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

@@ -13,6 +13,12 @@ val create : int -> t
 (** [create seed] is a fresh generator. Distinct seeds give independent
     streams for all practical purposes. *)
 
+val derive : int -> int -> int
+(** [derive seed index] is a well-mixed seed for the [index]-th independent
+    trial of an experiment seeded with [seed] — the seed-derivation scheme
+    of the parallel runner. Pure: no generator state is involved, so a trial
+    can be replayed in isolation on any domain. *)
+
 val split : t -> t
 (** [split t] derives a new generator whose stream is independent of the
     parent's subsequent output. Advances [t]. *)

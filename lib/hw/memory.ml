@@ -124,13 +124,18 @@ let write_string t ~world ~addr s =
   notify_write t ~addr ~len:(String.length s)
 
 let read_int64_le t ~world ~addr =
-  let b = read_bytes t ~world ~addr ~len:8 in
-  Bytes.get_int64_le b 0
+  check_range t ~world ~addr ~len:8;
+  Bytes.get_int64_le t.data addr
 
 let write_int64_le t ~world ~addr v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 v;
-  write_string t ~world ~addr (Bytes.to_string b)
+  check_range t ~world ~addr ~len:8;
+  check_guards t ~world ~addr ~len:8;
+  Bytes.set_int64_le t.data addr v;
+  notify_write t ~addr ~len:8
+
+let with_range_ro t ~world ~addr ~len ~f =
+  check_range t ~world ~addr ~len;
+  f t.data addr
 
 let fold_range t ~world ~addr ~len ~init ~f =
   check_range t ~world ~addr ~len;

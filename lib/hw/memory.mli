@@ -60,6 +60,15 @@ val fold_range :
   t -> world:World.t -> addr:int -> len:int -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** Left fold over a byte range without copying (the "direct hash" style). *)
 
+val with_range_ro :
+  t -> world:World.t -> addr:int -> len:int -> f:(Bytes.t -> int -> 'a) -> 'a
+(** [with_range_ro t ~world ~addr ~len ~f] validates [\[addr, addr+len)]
+    once — same checks as a read — and applies [f backing addr] directly to
+    the backing store: the read-only bulk fast path (no per-byte closure, no
+    snapshot copy) that {!Satin_introspect.Hash.hash_region} runs its
+    specialized loops over. [f] must treat the bytes as read-only, stay
+    within [\[addr, addr+len)], and must not let the buffer escape. *)
+
 val blit_within : t -> world:World.t -> src:int -> dst:int -> len:int -> unit
 
 type guard

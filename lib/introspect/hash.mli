@@ -24,6 +24,12 @@ val absorb_int64 : algo -> int64 -> int64 -> int64
 val hash_string : algo -> string -> int64
 val hash_bytes : algo -> bytes -> int64
 
+val hash_sub : algo -> Bytes.t -> off:int -> len:int -> int64
+(** [hash_sub algo data ~off ~len] hashes [len] bytes of [data] starting at
+    [off] with an algorithm-specialized unrolled loop — bit-identical to
+    folding {!step} over the same bytes, several times faster. Raises
+    [Invalid_argument] if the range exceeds [data]. *)
+
 val hash_region :
   algo ->
   Satin_hw.Memory.t ->

@@ -1,0 +1,110 @@
+module Obs = Satin_obs.Obs
+
+type t = { jobs : int; mutable last_wall_s : float }
+
+let create ?(jobs = 1) () =
+  if jobs < 1 then invalid_arg "Runner.create: jobs must be >= 1";
+  { jobs; last_wall_s = 0.0 }
+
+let sequential = create ()
+let jobs t = t.jobs
+let last_batch_wall_s t = t.last_wall_s
+
+(* Set while the current domain is executing a trial body; [map] from a
+   flagged domain is a nested fan-out and is rejected. *)
+let in_trial = Domain.DLS.new_key (fun () -> false)
+
+type 'a cell =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let run_trial f i =
+  try Done (f i)
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Failed (e, bt)
+
+(* Submission-order collection: Array.map visits indices in order, so the
+   lowest-indexed failure is the one re-raised. *)
+let collect results =
+  Array.map
+    (function
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    results
+
+let record_metrics ~n ~wall executed =
+  Obs.incr "runner.batches";
+  Obs.incr "runner.trials" ~by:n;
+  Obs.set_gauge "runner.queue_depth" 0.0;
+  Obs.observe "runner.batch_wall_s" wall;
+  Array.iteri
+    (fun w c ->
+      Obs.incr "runner.domain_trials"
+        ~labels:[ ("domain", string_of_int w) ]
+        ~by:c)
+    executed
+
+let map pool n f =
+  if n < 0 then invalid_arg "Runner.map: negative batch size";
+  if Domain.DLS.get in_trial then
+    invalid_arg "Runner.map: nested use (map called from inside a trial)";
+  (* The obs sink is a process-global; trial bodies instrument through it,
+     so a batch under an installed sink runs sequentially (same results —
+     that is the whole point of the pool — just no overlap). *)
+  let jobs = if Obs.enabled () then 1 else min pool.jobs n in
+  Obs.set_gauge "runner.queue_depth" (float_of_int n);
+  let wall0 = Unix.gettimeofday () in
+  let results = Array.make n Pending in
+  let executed =
+    if jobs <= 1 then begin
+      Domain.DLS.set in_trial true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_trial false)
+        (fun () ->
+          for i = 0 to n - 1 do
+            results.(i) <- run_trial f i
+          done);
+      [| n |]
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let executed = Array.make jobs 0 in
+      (* Work stealing over an atomic cursor: each worker claims the next
+         unclaimed index and writes its private slot, so domains never touch
+         the same location and the result array is index-ordered by
+         construction. *)
+      let worker w =
+        Domain.DLS.set in_trial true;
+        let count = ref 0 in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- run_trial f i;
+            incr count;
+            loop ()
+          end
+        in
+        loop ();
+        Domain.DLS.set in_trial false;
+        executed.(w) <- !count
+      in
+      let others =
+        Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Domain.join others)
+        (fun () -> worker 0);
+      executed
+    end
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  pool.last_wall_s <- wall;
+  record_metrics ~n ~wall executed;
+  collect results
+
+let map_list pool items f =
+  let arr = Array.of_list items in
+  Array.to_list (map pool (Array.length arr) (fun i -> f arr.(i)))

@@ -1,0 +1,57 @@
+(** Deterministic Domain-based work pool for trial fan-outs.
+
+    Every table and figure of the evaluation is an embarrassingly-parallel
+    fan-out of independently-seeded trials. [map] executes the trial bodies
+    on up to [jobs] domains and returns the results {e in submission order},
+    so a report assembled from the results is byte-identical whatever the
+    number of domains or the scheduling of trials onto them.
+
+    The determinism contract rests on the trial bodies, not on the pool:
+    a trial must derive everything stochastic from its own seed (build its
+    own [Scenario]/[Prng] from {!Satin_engine.Prng.derive}) and must not
+    read or write mutable state shared with any other trial. The pool
+    enforces what it can mechanically: results land in a per-index slot,
+    exceptions are re-raised in submission order, and nested use (calling
+    [map] from inside a trial) is rejected.
+
+    The global {!Satin_obs.Obs} sink is process-wide mutable state, so when
+    a sink is installed ([--trace]/[--metrics]) the pool degrades to
+    sequential execution — same results, full instrumentation, no data
+    races. Pool-level metrics ([runner.batches], [runner.trials],
+    [runner.domain_trials{domain=i}], [runner.batch_wall_s],
+    [runner.queue_depth]) are recorded by the submitting domain only. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] is a pool running trial batches on up to [jobs]
+    domains (including the caller's). Default 1 — today's sequential
+    behavior. Raises [Invalid_argument] if [jobs < 1]. No domains are
+    spawned until {!map} runs a batch needing them. *)
+
+val sequential : t
+(** [create ~jobs:1 ()]. *)
+
+val jobs : t -> int
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool n f] evaluates [f 0 .. f (n-1)] and returns the results in
+    index order. With [jobs > 1] (and no obs sink installed) trials run
+    work-stealing on [min jobs n] domains; result order is index order
+    regardless.
+
+    If one or more trials raise, the remaining trials still run to
+    completion and the exception of the {e lowest-indexed} failed trial is
+    re-raised (with its backtrace) in the caller — so which error surfaces
+    does not depend on domain scheduling.
+
+    Raises [Invalid_argument] when called from inside a running trial
+    (nested fan-outs would deadlock the fixed-size pool and break the
+    submission-order guarantee), or when [n < 0]. *)
+
+val map_list : t -> 'a list -> ('a -> 'b) -> 'b list
+(** [map_list pool items f] is {!map} over a list, preserving order. *)
+
+val last_batch_wall_s : t -> float
+(** Wall-clock seconds of the pool's most recent completed batch (0. before
+    any batch ran). Real time, not simulated time. *)

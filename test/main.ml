@@ -30,6 +30,8 @@ let () =
       ("cache_prober", Test_cache_prober.suite);
       ("sync_guard", Test_sync_guard.suite);
       ("merkle", Test_merkle.suite);
+      ("runner", Test_runner.suite);
       ("experiments_smoke", Test_experiments_smoke.suite);
+      ("determinism", Test_determinism.suite);
       ("gantt", Test_gantt.suite);
     ]

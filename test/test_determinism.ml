@@ -1,0 +1,73 @@
+(* The parallel runner's contract: a pooled run is a pure wall-clock
+   optimization. The full quick-campaign report and the machine-readable
+   summaries must be byte-identical at jobs=1 and jobs=4, whatever the
+   seed. *)
+
+module E = Satin.Experiment
+module S = Satin.Summary
+module Runner = Satin_runner.Runner
+module Json = Satin_obs.Json
+
+let report ~pool ~seed =
+  let buf = Buffer.create (1 lsl 16) in
+  let fmt = Format.formatter_of_buffer buf in
+  E.run_all ~pool ~seed ~quick:true fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* First divergence position, for a failure message that actually helps. *)
+let check_identical what seq par =
+  if not (String.equal seq par) then begin
+    let n = min (String.length seq) (String.length par) in
+    let i = ref 0 in
+    while !i < n && seq.[!i] = par.[!i] do
+      incr i
+    done;
+    let context s =
+      let from = max 0 (!i - 40) in
+      String.sub s from (min 80 (String.length s - from))
+    in
+    Alcotest.failf "%s diverges at byte %d:\n  jobs=1: %S\n  jobs=4: %S" what
+      !i (context seq) (context par)
+  end
+
+let test_report_identical seed () =
+  let seq = report ~pool:Runner.sequential ~seed in
+  let par = report ~pool:(Runner.create ~jobs:4 ()) ~seed in
+  check_identical (Printf.sprintf "run_all ~quick report (seed %d)" seed) seq
+    par
+
+(* The bench harness's --json path: structured summaries of the pooled
+   experiments, serialized. None of these builders includes wall-clock. *)
+let summary ~pool ~seed =
+  Json.to_string
+    (Json.Obj
+       [
+         ("e1", S.e1 (E.run_e1 ~pool ~seed ()));
+         ("table2", S.table2 (E.run_table2 ~pool ~seed ~rounds:15 ()));
+         ("uprober", S.uprober (E.run_uprober ~pool ~seed ~trials:6 ()));
+         ( "sweep",
+           S.sweep
+             (E.run_tgoal_sweep ~pool ~seed ~trials:2 ~tps_s:[ 1.0; 4.0 ] ())
+         );
+       ])
+
+let test_json_identical seed () =
+  let seq = summary ~pool:Runner.sequential ~seed in
+  let par = summary ~pool:(Runner.create ~jobs:4 ()) ~seed in
+  check_identical (Printf.sprintf "--json summary (seed %d)" seed) seq par
+
+let seeds = [ 7; 11; 42 ]
+
+let suite =
+  List.concat_map
+    (fun seed ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "run_all report jobs 1 = 4 (seed %d)" seed)
+          `Slow (test_report_identical seed);
+        Alcotest.test_case
+          (Printf.sprintf "json summary jobs 1 = 4 (seed %d)" seed)
+          `Slow (test_json_identical seed);
+      ])
+    seeds

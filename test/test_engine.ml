@@ -1,5 +1,11 @@
 open Satin_engine
 
+(* Drain the queue, asserting the 100M-event guard was not what stopped it. *)
+let drain e =
+  match Engine.run_all e () with
+  | Engine.Drained -> ()
+  | Engine.Limit_hit -> Alcotest.fail "run_all hit its event limit"
+
 let test_clock_starts_zero () =
   let e = Engine.create () in
   Alcotest.(check int) "boot time" 0 (Engine.now e)
@@ -9,7 +15,7 @@ let test_schedule_and_run () =
   let fired = ref [] in
   ignore (Engine.schedule e ~after:(Sim_time.ms 5) (fun () -> fired := 5 :: !fired));
   ignore (Engine.schedule e ~after:(Sim_time.ms 1) (fun () -> fired := 1 :: !fired));
-  Engine.run_all e ();
+  drain e;
   Alcotest.(check (list int)) "fired in time order" [ 1; 5 ] (List.rev !fired);
   Alcotest.(check int) "clock at last event" (Sim_time.ms 5) (Engine.now e)
 
@@ -32,7 +38,7 @@ let test_now_visible_in_callback () =
   let e = Engine.create () in
   let seen = ref 0 in
   ignore (Engine.schedule e ~after:(Sim_time.us 7) (fun () -> seen := Engine.now e));
-  Engine.run_all e ();
+  drain e;
   Alcotest.(check int) "now inside callback" (Sim_time.us 7) !seen
 
 let test_nested_scheduling () =
@@ -42,7 +48,7 @@ let test_nested_scheduling () =
     (Engine.schedule e ~after:1 (fun () ->
          log := "outer" :: !log;
          ignore (Engine.schedule e ~after:1 (fun () -> log := "inner" :: !log))));
-  Engine.run_all e ();
+  drain e;
   Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
   Alcotest.(check int) "clock" 2 (Engine.now e)
 
@@ -51,7 +57,7 @@ let test_cancel () =
   let hit = ref false in
   let h = Engine.schedule e ~after:1 (fun () -> hit := true) in
   Engine.cancel e h;
-  Engine.run_all e ();
+  drain e;
   Alcotest.(check bool) "cancelled never fires" false !hit
 
 let test_schedule_in_past_rejected () =
@@ -107,8 +113,25 @@ let test_run_all_limit () =
   let e = Engine.create () in
   let rec reschedule () = ignore (Engine.schedule e ~after:1 reschedule) in
   reschedule ();
-  Engine.run_all e ~limit:100 ();
-  Alcotest.(check int) "bounded by limit" 100 (Engine.now e)
+  (match Engine.run_all e ~limit:100 () with
+  | Engine.Limit_hit -> ()
+  | Engine.Drained -> Alcotest.fail "self-rescheduling queue reported Drained");
+  Alcotest.(check int) "bounded by limit" 100 (Engine.now e);
+  Alcotest.(check bool) "work still pending" true (Engine.pending e > 0)
+
+let test_run_all_outcomes () =
+  (* Exactly [limit] events with nothing left over is a drain, not a hit. *)
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~after:i (fun () -> ()))
+  done;
+  (match Engine.run_all e ~limit:10 () with
+  | Engine.Drained -> ()
+  | Engine.Limit_hit -> Alcotest.fail "exact drain misreported as Limit_hit");
+  (* An empty queue drains trivially. *)
+  match Engine.run_all e () with
+  | Engine.Drained -> ()
+  | Engine.Limit_hit -> Alcotest.fail "empty queue hit a limit"
 
 let test_pending () =
   let e = Engine.create () in
@@ -134,5 +157,6 @@ let suite =
     Alcotest.test_case "every cancel from callback" `Quick test_every_cancel_from_callback;
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "run_all limit" `Quick test_run_all_limit;
+    Alcotest.test_case "run_all outcomes" `Quick test_run_all_outcomes;
     Alcotest.test_case "pending" `Quick test_pending;
   ]

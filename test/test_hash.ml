@@ -70,6 +70,55 @@ let test_hash_bytes_matches_string () =
   Alcotest.(check int64) "bytes = string" (Hash.hash_string Hash.Djb2 "bytes")
     (Hash.hash_bytes Hash.Djb2 b)
 
+(* The unrolled [hash_sub] loops must agree with a plain [step] fold at every
+   length around the 4-byte unroll boundary and at every offset. *)
+let test_hash_sub_edge_lengths () =
+  let data = Bytes.init 64 (fun i -> Char.chr ((i * 37) land 0xff)) in
+  List.iter
+    (fun algo ->
+      for off = 0 to 5 do
+        for len = 0 to 9 do
+          let expect = ref (Hash.init algo) in
+          for i = off to off + len - 1 do
+            expect := Hash.step algo !expect (Char.code (Bytes.get data i))
+          done;
+          Alcotest.(check int64)
+            (Printf.sprintf "%s off=%d len=%d" (Hash.algo_to_string algo) off
+               len)
+            !expect
+            (Hash.hash_sub algo data ~off ~len)
+        done
+      done)
+    Hash.all_algos
+
+let test_hash_sub_bounds () =
+  let data = Bytes.create 16 in
+  let reject name f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s accepted" name
+    with Invalid_argument _ -> ()
+  in
+  reject "negative off" (fun () -> Hash.hash_sub Hash.Djb2 data ~off:(-1) ~len:4);
+  reject "negative len" (fun () -> Hash.hash_sub Hash.Djb2 data ~off:0 ~len:(-1));
+  reject "past the end" (fun () -> Hash.hash_sub Hash.Djb2 data ~off:10 ~len:7)
+
+let prop_hash_sub_matches_fold =
+  QCheck.Test.make ~name:"hash_sub = step fold at any split"
+    QCheck.(pair string (int_bound 64))
+    (fun (s, k) ->
+      let data = Bytes.of_string s in
+      let off = if Bytes.length data = 0 then 0 else k mod Bytes.length data in
+      let len = Bytes.length data - off in
+      List.for_all
+        (fun algo ->
+          let expect = ref (Hash.init algo) in
+          for i = off to off + len - 1 do
+            expect := Hash.step algo !expect (Char.code (Bytes.get data i))
+          done;
+          Int64.equal !expect (Hash.hash_sub algo data ~off ~len))
+        Hash.all_algos)
+
 let prop_deterministic =
   QCheck.Test.make ~name:"hash deterministic" QCheck.string (fun s ->
       List.for_all
@@ -102,6 +151,9 @@ let suite =
     Alcotest.test_case "streaming matches whole" `Quick test_streaming_matches_whole;
     Alcotest.test_case "hash_region" `Quick test_hash_region_matches_string;
     Alcotest.test_case "hash_bytes" `Quick test_hash_bytes_matches_string;
+    Alcotest.test_case "hash_sub edge lengths" `Quick test_hash_sub_edge_lengths;
+    Alcotest.test_case "hash_sub bounds" `Quick test_hash_sub_bounds;
+    QCheck_alcotest.to_alcotest prop_hash_sub_matches_fold;
     QCheck_alcotest.to_alcotest prop_deterministic;
     QCheck_alcotest.to_alcotest prop_concat_streaming;
   ]

@@ -129,6 +129,83 @@ let test_watcher_not_fired_on_read () =
   ignore (Memory.read_bytes m ~world:World.Normal ~addr:0 ~len:16);
   Alcotest.(check int) "reads silent" 0 !hits
 
+let test_int64_roundtrip_and_watcher () =
+  let m = make () in
+  let hits = ref [] in
+  ignore (Memory.add_write_watcher m (fun ~addr ~len -> hits := (addr, len) :: !hits));
+  Memory.write_int64_le m ~world:World.Normal ~addr:16 0x1122334455667788L;
+  Alcotest.(check int64) "read back" 0x1122334455667788L
+    (Memory.read_int64_le m ~world:World.Normal ~addr:16);
+  (* Little-endian: the low byte lands first. *)
+  Alcotest.(check int) "low byte at addr" 0x88
+    (Memory.read_byte m ~world:World.Normal ~addr:16);
+  Alcotest.(check int) "high byte at addr+7" 0x11
+    (Memory.read_byte m ~world:World.Normal ~addr:23);
+  Alcotest.(check (list (pair int int))) "watcher saw one 8-byte write"
+    [ (16, 8) ] !hits
+
+let test_int64_access_checks () =
+  let m = make () in
+  (* The whole 8-byte range is validated, not just the first byte: a word
+     starting in ns memory but ending in the secure region must trap. *)
+  (try
+     Memory.write_int64_le m ~world:World.Normal ~addr:1020 1L;
+     Alcotest.fail "expected Access_violation"
+   with Memory.Access_violation _ -> ());
+  (try
+     ignore (Memory.read_int64_le m ~world:World.Normal ~addr:1020);
+     Alcotest.fail "expected Access_violation"
+   with Memory.Access_violation _ -> ());
+  Alcotest.check_raises "past the end" (Memory.Bad_address 4089) (fun () ->
+      Memory.write_int64_le m ~world:World.Normal ~addr:4089 1L)
+
+(* Regression for the direct (non-byte-loop) int64 write path: a write guard
+   must still trap an 8-byte write that merely overlaps its range, and a
+   denied write must leave no partial bytes behind. *)
+let test_guard_traps_int64_write () =
+  let m = make () in
+  let g =
+    Memory.add_write_guard m ~name:"hook" ~base:40 ~len:8
+      ~decide:(fun ~addr:_ ~len:_ -> `Deny)
+  in
+  (try
+     Memory.write_int64_le m ~world:World.Normal ~addr:36 0xFFFFFFFFFFFFFFFFL;
+     Alcotest.fail "expected Write_trapped"
+   with Memory.Write_trapped { guard_name; _ } ->
+     Alcotest.(check string) "guard named" "hook" guard_name);
+  for addr = 36 to 43 do
+    Alcotest.(check int)
+      (Printf.sprintf "no byte landed at %d" addr)
+      0
+      (Memory.read_byte m ~world:World.Secure ~addr)
+  done;
+  (* Secure-world writes bypass guards, as on real page tables. *)
+  Memory.write_int64_le m ~world:World.Secure ~addr:40 7L;
+  Alcotest.(check int64) "secure write landed" 7L
+    (Memory.read_int64_le m ~world:World.Secure ~addr:40);
+  Memory.remove_write_guard m g;
+  Memory.write_int64_le m ~world:World.Normal ~addr:40 9L;
+  Alcotest.(check int64) "unguarded write landed" 9L
+    (Memory.read_int64_le m ~world:World.Normal ~addr:40)
+
+let test_with_range_ro () =
+  let m = make () in
+  Memory.write_string m ~world:World.Normal ~addr:0 "\x01\x02\x03";
+  let sum =
+    Memory.with_range_ro m ~world:World.Normal ~addr:0 ~len:3
+      ~f:(fun data off ->
+        Char.code (Bytes.get data off)
+        + Char.code (Bytes.get data (off + 1))
+        + Char.code (Bytes.get data (off + 2)))
+  in
+  Alcotest.(check int) "direct sum" 6 sum;
+  (* Same validation as a read: normal world cannot map a secure range. *)
+  try
+    Memory.with_range_ro m ~world:World.Normal ~addr:1000 ~len:48
+      ~f:(fun _ _ -> ());
+    Alcotest.fail "expected violation"
+  with Memory.Access_violation _ -> ()
+
 let prop_rw_any_byte =
   QCheck.Test.make ~name:"write/read any ns byte"
     QCheck.(pair (int_bound 1023) (int_bound 255))
@@ -154,5 +231,9 @@ let suite =
     Alcotest.test_case "blit_within" `Quick test_blit_within;
     Alcotest.test_case "write watcher" `Quick test_write_watcher;
     Alcotest.test_case "watcher ignores reads" `Quick test_watcher_not_fired_on_read;
+    Alcotest.test_case "int64 roundtrip + watcher" `Quick test_int64_roundtrip_and_watcher;
+    Alcotest.test_case "int64 access checks" `Quick test_int64_access_checks;
+    Alcotest.test_case "guard traps int64 write" `Quick test_guard_traps_int64_write;
+    Alcotest.test_case "with_range_ro" `Quick test_with_range_ro;
     QCheck_alcotest.to_alcotest prop_rw_any_byte;
   ]
