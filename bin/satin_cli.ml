@@ -3,6 +3,7 @@
 open Cmdliner
 module E = Satin.Experiment
 module Obs = Satin_obs.Obs
+module Sanitizer = Satin_inject.Sanitizer
 
 let fmt = Format.std_formatter
 
@@ -34,6 +35,35 @@ let metrics_arg =
   let doc = "Export a JSON summary of the run's metrics to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let check_arg =
+  let doc =
+    "Run the simulation sanitizer: every scenario validates engine, \
+     event-queue, and scheduler invariants on a sampled cadence. Exits \
+     nonzero if any violation is found. Results are unchanged (the \
+     sanitizer only reads state), whatever --jobs width."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+(* Enable check mode around [f]; report to stderr (stdout stays the
+   byte-stable experiment report) and exit nonzero on violations. *)
+let with_check check f =
+  if not check then f ()
+  else begin
+    Sanitizer.reset_global ();
+    Sanitizer.set_check_mode true;
+    Fun.protect ~finally:(fun () -> Sanitizer.set_check_mode false) f;
+    let r = Sanitizer.global_report () in
+    if r.Sanitizer.violations > 0 then begin
+      Printf.eprintf "sanitizer: %d violation(s) in %d check(s)\n"
+        r.Sanitizer.violations r.Sanitizer.checks;
+      List.iter (Printf.eprintf "  %s\n") r.Sanitizer.messages;
+      exit 3
+    end
+    else
+      Printf.eprintf "sanitizer: %d check(s), 0 violations\n"
+        r.Sanitizer.checks
+  end
+
 (* Install an observability sink around [f] only when an export was asked
    for, so the default path keeps the bare (un-instrumented) hot loops. *)
 let with_obs trace metrics f =
@@ -47,26 +77,33 @@ let with_obs trace metrics f =
       Option.iter (Obs.write_metrics obs) metrics
 
 let simple name doc f =
-  let run seed jobs trace metrics =
+  let run seed jobs trace metrics check =
     let pool = Satin_runner.Runner.create ~jobs () in
-    with_obs trace metrics (fun () -> f pool seed)
+    with_check check (fun () -> with_obs trace metrics (fun () -> f pool seed))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ check_arg)
 
 (* Like [simple] but with the [--quick] flag. *)
 let campaign name doc f =
-  let run seed quick jobs trace metrics =
+  let run seed quick jobs trace metrics check =
     let pool = Satin_runner.Runner.create ~jobs () in
-    with_obs trace metrics (fun () -> f pool seed quick)
+    with_check check (fun () ->
+        with_obs trace metrics (fun () -> f pool seed quick))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ seed_arg $ quick_arg $ jobs_arg $ trace_arg $ metrics_arg
+      $ check_arg)
 
 (* Closed-form commands: no seed, but still accept the export flags. *)
 let closed_form name doc f =
-  let run trace metrics = with_obs trace metrics f in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ trace_arg $ metrics_arg)
+  let run trace metrics check =
+    with_check check (fun () -> with_obs trace metrics f)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ trace_arg $ metrics_arg $ check_arg)
 
 let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
     (fun pool seed -> E.print_e1 fmt (E.run_e1 ~pool ~seed ()))
@@ -137,6 +174,24 @@ let ablation = campaign "ablation" "SATIN randomization ablation"
       E.print_ablation fmt
         (E.run_ablation ~pool ~seed ~passes:(if quick then 1 else 3) ()))
 
+let inject =
+  campaign "inject" "Fault injection: SATIN detection rate per fault plan"
+    (fun pool seed quick ->
+      E.print_inject fmt
+        (E.run_inject ~pool ~seed
+           ~trials:(if quick then 2 else 4)
+           ~window_s:(if quick then 25 else 30)
+           ()))
+
+let degrade =
+  campaign "degrade" "Graceful degradation vs secure-timer drop severity"
+    (fun pool seed quick ->
+      E.print_degrade fmt
+        (E.run_degrade ~pool ~seed
+           ~trials:(if quick then 2 else 4)
+           ~window_s:(if quick then 25 else 30)
+           ()))
+
 let all = campaign "all" "Run the whole evaluation in paper order"
     (fun pool seed quick -> E.run_all ~pool ~seed ~quick fmt)
 
@@ -145,7 +200,8 @@ let main =
   Cmd.group (Cmd.info "satin_cli" ~version:"1.0.0" ~doc)
     [
       e1; table1; e3; uprober; table2; fig4; e6; race; timeline; evasion;
-      areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; all;
+      areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; inject;
+      degrade; all;
     ]
 
 let () = exit (Cmd.eval main)

@@ -315,6 +315,90 @@ val run_tgoal_sweep :
 
 val print_tgoal_sweep : Format.formatter -> sweep_result -> unit
 
+(** {1 Fault injection — detection rate per fault plan (beyond the paper)} *)
+
+type fault_trial = {
+  ft_detected : bool;
+  ft_latency_s : float option;
+      (** rootkit arm → first alarmed round's wake-up, seconds *)
+  ft_rounds : int; (** rounds SATIN completed inside the window *)
+  ft_faults : int; (** perturbations applied: drops+delays+spikes+flips *)
+}
+
+val fault_campaign_trial :
+  seed:int -> window_s:int -> Satin_inject.Fault_plan.t -> fault_trial
+(** One campaign: injector installed first (so the very first secure-timer
+    arms pass the fault hooks), SATIN at [tp] = 1 s, a persistent GETTID
+    rootkit armed after enrollment, [window_s] simulated seconds. *)
+
+type inject_row = {
+  inj_plan : string;
+  inj_trials : int;
+  inj_detected : int; (** trials in which SATIN raised at least one alarm *)
+  inj_latency : Stats.t; (** time to first alarm, s, over detected trials *)
+  inj_rounds : float; (** mean rounds completed *)
+  inj_faults : float; (** mean perturbations applied *)
+}
+
+type inject_result = { inj_rows : inject_row list; inj_window_s : int }
+
+val inject_trial :
+  seed:int ->
+  trials:int ->
+  window_s:int ->
+  plans:Satin_inject.Fault_plan.t array ->
+  trial_index:int ->
+  fault_trial
+(** Plan [trial_index / trials], trial seed [derive seed trial_index]. *)
+
+val run_inject :
+  ?pool:Runner.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?window_s:int ->
+  ?plans:Satin_inject.Fault_plan.t list ->
+  unit ->
+  inject_result
+(** Defaults: 4 trials per plan, 30 s window,
+    {!Satin_inject.Fault_plan.catalogue}. *)
+
+val print_inject : Format.formatter -> inject_result -> unit
+
+(** {1 Graceful degradation — detection vs timer-drop severity} *)
+
+type degrade_row = {
+  dg_drop_prob : float;
+  dg_trials : int;
+  dg_detected : int;
+  dg_latency : Stats.t;
+  dg_rounds : float;
+  dg_drops : float; (** mean secure-timer arms swallowed per trial *)
+}
+
+type degrade_result = { dg_rows : degrade_row list; dg_window_s : int }
+
+val degrade_trial :
+  seed:int ->
+  trials:int ->
+  window_s:int ->
+  probs:float array ->
+  trial_index:int ->
+  fault_trial
+(** Drop probability [probs.(trial_index / trials)] (0 means [Control]). *)
+
+val run_degrade :
+  ?pool:Runner.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?window_s:int ->
+  ?drop_probs:float list ->
+  unit ->
+  degrade_result
+(** Defaults: 4 trials per severity, 30 s window, drop probabilities
+    [0.0; 0.2; 0.4; 0.6]. *)
+
+val print_degrade : Format.formatter -> degrade_result -> unit
+
 (** {1 Everything} *)
 
 val run_all : ?pool:Runner.t -> ?seed:int -> ?quick:bool -> Format.formatter -> unit

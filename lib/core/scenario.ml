@@ -9,6 +9,7 @@ type t = {
   tsp : Satin_tz.Tsp.t;
   secure_memory : Satin_tz.Secure_memory.t;
   checker : Satin_introspect.Checker.t;
+  sanitizer : Satin_inject.Sanitizer.t option;
 }
 
 (* The secure carve-out sits well above the ~13.4 MiB end of the kernel
@@ -40,11 +41,31 @@ let create ?(seed = 42) ?cycle ?layout ?(algo = Satin_introspect.Hash.Djb2)
       ~cycle:platform.Platform.cycle ~prng:(Platform.split_prng platform) ~algo
       ~style
   in
-  { platform; kernel; tsp; secure_memory; checker }
+  (* Under --check, every scenario carries its own sanitizer instance
+     (domain-confined; aggregates are global atomics), chained after any
+     observer the obs layer installed above. *)
+  let sanitizer =
+    if Satin_inject.Sanitizer.check_mode () then
+      Some
+        (Satin_inject.Sanitizer.attach
+           ~name:(Printf.sprintf "scenario seed=%d" seed)
+           ~sched:kernel.Satin_kernel.Kernel.sched platform.Platform.engine)
+    else None
+  in
+  { platform; kernel; tsp; secure_memory; checker; sanitizer }
 
 let engine t = t.platform.Platform.engine
 let now t = Engine.now (engine t)
-let run_until t time = Engine.run_until (engine t) time
+let run_until t time =
+  Engine.run_until (engine t) time;
+  (* One full sweep per run call: short scenarios never reach the sampled
+     cadence, and corruption introduced after the last sampled event must
+     still be caught (the sweep is a pure read at a deterministic instant,
+     so results stay byte-identical at any jobs width). *)
+  match t.sanitizer with
+  | Some s -> ignore (Satin_inject.Sanitizer.check_now s)
+  | None -> ()
+
 let run_for t d = run_until t (Sim_time.add (now t) d)
 
 let install_satin t ?(config = Satin_introspect.Satin.default_config) () =

@@ -12,6 +12,11 @@ type t = {
   tsp : Satin_tz.Tsp.t;
   secure_memory : Satin_tz.Secure_memory.t;
   checker : Satin_introspect.Checker.t;
+  sanitizer : Satin_inject.Sanitizer.t option;
+      (** present iff {!Satin_inject.Sanitizer.check_mode} was on at
+          creation ([--check]): an invariant sanitizer chained onto the
+          engine observer, validating engine/queue/scheduler state on a
+          sampled cadence *)
 }
 
 val create :
@@ -26,7 +31,9 @@ val create :
     direct hash. *)
 
 val run_for : t -> Satin_engine.Sim_time.t -> unit
-(** Advance the simulation by a duration. *)
+(** Advance the simulation by a duration. Under [--check], every
+    [run_for]/[run_until] ends with one full sanitizer sweep, so even a
+    scenario too short to reach the sampled cadence gets validated. *)
 
 val run_until : t -> Satin_engine.Sim_time.t -> unit
 

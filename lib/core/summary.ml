@@ -225,6 +225,46 @@ let sweep (r : Experiment.sweep_result) =
              r.Experiment.sw_rows) );
     ]
 
+let inject (r : Experiment.inject_result) =
+  Json.Obj
+    [
+      ("window_s", Json.Int r.Experiment.inj_window_s);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : Experiment.inject_row) ->
+               Json.Obj
+                 [
+                   ("plan", Json.String row.Experiment.inj_plan);
+                   ("trials", Json.Int row.Experiment.inj_trials);
+                   ("detected", Json.Int row.Experiment.inj_detected);
+                   ("first_alarm_s", stats row.Experiment.inj_latency);
+                   ("rounds_mean", Json.float row.Experiment.inj_rounds);
+                   ("faults_mean", Json.float row.Experiment.inj_faults);
+                 ])
+             r.Experiment.inj_rows) );
+    ]
+
+let degrade (r : Experiment.degrade_result) =
+  Json.Obj
+    [
+      ("window_s", Json.Int r.Experiment.dg_window_s);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : Experiment.degrade_row) ->
+               Json.Obj
+                 [
+                   ("drop_prob", Json.float row.Experiment.dg_drop_prob);
+                   ("trials", Json.Int row.Experiment.dg_trials);
+                   ("detected", Json.Int row.Experiment.dg_detected);
+                   ("first_alarm_s", stats row.Experiment.dg_latency);
+                   ("rounds_mean", Json.float row.Experiment.dg_rounds);
+                   ("drops_mean", Json.float row.Experiment.dg_drops);
+                 ])
+             r.Experiment.dg_rows) );
+    ]
+
 let timeline (p : Race.params) =
   Json.Obj
     [

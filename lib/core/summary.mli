@@ -26,4 +26,6 @@ val ablation : Experiment.ablation_result -> Json.t
 val e13 : Experiment.e13_result -> Json.t
 val e14 : Experiment.e14_result -> Json.t
 val sweep : Experiment.sweep_result -> Json.t
+val inject : Experiment.inject_result -> Json.t
+val degrade : Experiment.degrade_result -> Json.t
 val timeline : Race.params -> Json.t

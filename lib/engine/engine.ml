@@ -16,6 +16,7 @@ let now t = t.clock
 let pending t = Event_queue.length t.queue
 let events_fired t = t.fired
 let set_observer t obs = t.observer <- obs
+let observer t = t.observer
 
 let at t ~time f =
   if time < t.clock then raise Schedule_in_past;
@@ -32,18 +33,22 @@ let every t ~period ?start f =
   let first =
     match start with Some s -> s | None -> Sim_time.add t.clock period
   in
-  let cell = ref (Event_queue.push t.queue ~time:t.clock (fun () -> ())) in
-  Event_queue.cancel t.queue !cell;
-  let rec arm time =
-    cell :=
-      at t ~time (fun () ->
-          (* Re-arm first: the callback can then cancel !cell to stop the
-             recurrence (the .mli contract). *)
-          arm (Sim_time.add (now t) period);
-          f ())
+  if first < t.clock then
+    invalid_arg "Engine.every: ~start is in the past";
+  (* The cell must exist before the first occurrence's closure can re-arm
+     through it, and the first occurrence must exist to initialize the cell;
+     a lazy knot ties the two without pushing any throwaway entry. *)
+  let rec cell =
+    lazy (ref (arm first))
+  and arm time =
+    at t ~time (fun () ->
+        (* Re-arm first: the callback can then cancel !cell to stop the
+           recurrence (the .mli contract). *)
+        let cell = Lazy.force cell in
+        cell := arm (Sim_time.add (now t) period);
+        f ())
   in
-  arm first;
-  cell
+  Lazy.force cell
 
 let step t =
   match Event_queue.pop t.queue with
@@ -77,3 +82,17 @@ let run_all t ?(limit = 100_000_000) () =
     else Drained
   in
   loop 0
+
+let invariant_violations t =
+  let queue = Event_queue.invariant_violations t.queue in
+  let clock =
+    if Sim_time.is_negative t.clock then
+      [ Printf.sprintf "clock is negative (%d ns)" t.clock ]
+    else []
+  in
+  clock @ List.map (fun v -> "event queue: " ^ v) queue
+
+module Unsafe = struct
+  let set_clock t time = t.clock <- time
+  let skew_live t delta = Event_queue.Unsafe.skew_live t.queue delta
+end

@@ -28,6 +28,11 @@ val set_observer : t -> (time:Sim_time.t -> pending:int -> unit) option -> unit
     is then a single match. The observer must not assume it runs before or
     after other same-instant events. *)
 
+val observer : t -> (time:Sim_time.t -> pending:int -> unit) option
+(** The currently installed observer, so a later installer (e.g. the
+    simulation sanitizer) can chain to it instead of silently replacing
+    it. *)
+
 val schedule : t -> after:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule t ~after f] runs [f] at [now t + after]. [after] must not be
     negative. *)
@@ -44,7 +49,8 @@ val every :
   t -> period:Sim_time.t -> ?start:Sim_time.t -> (unit -> unit) -> handle ref
 (** [every t ~period f] runs [f] at [start] (default [now + period]) and then
     every [period]. The returned ref always holds the handle of the next
-    occurrence; cancel it to stop the recurrence. *)
+    occurrence; cancel it to stop the recurrence. Raises [Invalid_argument]
+    if [start] is in the past. *)
 
 val run_until : t -> Sim_time.t -> unit
 (** Fire all events up to and including the given instant; the clock ends at
@@ -62,5 +68,22 @@ val run_all : t -> ?limit:int -> unit -> outcome
 
 val step : t -> bool
 (** Fire the single earliest event. Returns [false] if the queue is empty. *)
+
+val invariant_violations : t -> string list
+(** Structural self-check of the engine's own state (clock sanity plus the
+    {!Event_queue.invariant_violations} of the pending set); empty when
+    healthy. Sampled by the simulation sanitizer. *)
+
+module Unsafe : sig
+  (** Fault-injection hooks for the sanitizer's own tests: deliberately
+      corrupt engine state so a test can prove the corruption is caught.
+      Never call these from simulation code. *)
+
+  val set_clock : t -> Sim_time.t -> unit
+  (** Force the clock to an arbitrary instant (e.g. a rewind). *)
+
+  val skew_live : t -> int -> unit
+  (** Corrupt the pending-event live count by a delta. *)
+end
 
 exception Schedule_in_past

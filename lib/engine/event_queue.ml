@@ -5,20 +5,30 @@ type handle = { mutable state : state }
 type 'a entry = {
   time : Sim_time.t;
   seq : int;
-  payload : 'a;
+  mutable payload : 'a option;
+      (* [None] only for the shared filler entry; a real entry always holds
+         [Some] until it leaves the heap. The option lets the queue own a
+         polymorphic filler, so vacated slots never retain a payload. *)
   handle : handle;
 }
 
 type 'a t = {
   mutable heap : 'a entry array;
-  (* [heap] slots >= [size] hold stale entries kept only to satisfy the
-     array type; they are never read. *)
+  (* [heap] slots >= [size] always hold [filler], so popped entries (and
+     their payload closures) become collectible the moment they leave the
+     heap — see the Weak-based regression test. *)
   mutable size : int;
   mutable next_seq : int;
   mutable live : int;
+  filler : 'a entry;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+let create () =
+  let filler =
+    { time = Sim_time.zero; seq = -1; payload = None; handle = { state = Cancelled } }
+  in
+  { heap = [||]; size = 0; next_seq = 0; live = 0; filler }
+
 let is_empty t = t.live = 0
 let length t = t.live
 let is_live h = h.state = Pending
@@ -49,20 +59,20 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.heap in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    let nheap = Array.make ncap entry in
+    let nheap = Array.make ncap t.filler in
     Array.blit t.heap 0 nheap 0 t.size;
     t.heap <- nheap
   end
 
 let push t ~time payload =
   let handle = { state = Pending } in
-  let entry = { time; seq = t.next_seq; payload; handle } in
+  let entry = { time; seq = t.next_seq; payload = Some payload; handle } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   t.live <- t.live + 1;
@@ -77,10 +87,9 @@ let cancel t handle =
 
 let remove_top t =
   t.size <- t.size - 1;
-  if t.size > 0 then begin
-    t.heap.(0) <- t.heap.(t.size);
-    sift_down t 0
-  end
+  if t.size > 0 then t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- t.filler;
+  if t.size > 1 then sift_down t 0
 
 let rec pop t =
   if t.size = 0 then None
@@ -90,10 +99,12 @@ let rec pop t =
     match top.handle.state with
     | Cancelled -> pop t
     | Fired -> pop t
-    | Pending ->
+    | Pending -> (
         top.handle.state <- Fired;
         t.live <- t.live - 1;
-        Some (top.time, top.payload)
+        match top.payload with
+        | Some p -> Some (top.time, p)
+        | None -> assert false)
 
 let rec peek_time t =
   if t.size = 0 then None
@@ -104,3 +115,35 @@ let rec peek_time t =
       remove_top t;
       peek_time t
     end
+
+(* ---- invariant checking (the simulation sanitizer's substrate view) ---- *)
+
+let invariant_violations t =
+  let bad = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  let cap = Array.length t.heap in
+  if t.size < 0 || t.size > cap then
+    report "size %d outside [0, capacity %d]" t.size cap;
+  if t.live < 0 || t.live > t.size then
+    report "live count %d outside [0, size %d]" t.live t.size;
+  for i = 1 to t.size - 1 do
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then
+      report "heap order broken at slot %d (time %d seq %d before parent time %d seq %d)"
+        i t.heap.(i).time t.heap.(i).seq t.heap.(parent).time t.heap.(parent).seq
+  done;
+  let pending = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).handle.state = Pending then incr pending;
+    if t.heap.(i).payload = None then report "entry at slot %d lost its payload" i
+  done;
+  if !pending <> t.live then
+    report "live count %d disagrees with %d pending entries" t.live !pending;
+  for i = t.size to cap - 1 do
+    if t.heap.(i) != t.filler then report "vacated slot %d retains a stale entry" i
+  done;
+  List.rev !bad
+
+module Unsafe = struct
+  let skew_live t delta = t.live <- t.live + delta
+end

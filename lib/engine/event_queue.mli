@@ -32,3 +32,17 @@ val pop : 'a t -> (Sim_time.t * 'a) option
 
 val peek_time : 'a t -> Sim_time.t option
 (** Time of the earliest live event without removing it. *)
+
+val invariant_violations : 'a t -> string list
+(** Structural self-check, one message per violated invariant (empty when
+    healthy): heap order over the occupied slots, live-count agreement with
+    the pending entries actually stored, size within capacity, and slot
+    hygiene (every vacated slot holds the shared filler, so fired and
+    cancelled payloads are collectible). The simulation sanitizer samples
+    this on a cadence; it is O(size). *)
+
+module Unsafe : sig
+  val skew_live : 'a t -> int -> unit
+  (** Corrupt the live-count by [delta] — a fault-injection hook for testing
+      that the sanitizer catches accounting skew. Never call it elsewhere. *)
+end

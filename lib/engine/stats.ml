@@ -7,6 +7,7 @@ type t = {
 let create () = { data = [||]; size = 0; sorted = None }
 
 let add t x =
+  if Float.is_nan x then invalid_arg "Stats.add: NaN sample";
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
@@ -139,6 +140,7 @@ module Running = struct
     { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
 
   let add t x =
+    if Float.is_nan x then invalid_arg "Stats.Running.add: NaN sample";
     t.n <- t.n + 1;
     let delta = x -. t.mean in
     t.mean <- t.mean +. (delta /. float_of_int t.n);

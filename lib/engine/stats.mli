@@ -9,6 +9,10 @@ type t
 val create : unit -> t
 
 val add : t -> float -> unit
+(** Raises [Invalid_argument] on a NaN sample: NaN would silently poison
+    the [min]/[max] folds (every comparison with NaN is false) and mis-bin
+    [histogram]/[quantile], so it is rejected at the door. Infinities are
+    accepted — they order correctly. *)
 
 val add_time : t -> Sim_time.t -> unit
 (** Adds a {!Sim_time.t} sample converted to seconds. *)
@@ -64,7 +68,10 @@ module Running : sig
   type t
 
   val create : unit -> t
+
   val add : t -> float -> unit
+  (** Rejects NaN like {!Stats.add}. *)
+
   val count : t -> int
   val mean : t -> float
   val variance : t -> float

@@ -9,12 +9,26 @@ type t = {
   cycle : Cycle_model.t;
   prng : Prng.t;
   mutable switches : int;
+  mutable switch_fault : (Sim_time.t -> Sim_time.t) option;
 }
 
-let create ~engine ~gic ~cycle ~prng = { engine; gic; cycle; prng; switches = 0 }
+let create ~engine ~gic ~cycle ~prng =
+  { engine; gic; cycle; prng; switches = 0; switch_fault = None }
+
+let set_switch_fault t f = t.switch_fault <- f
 
 let sample_switch t ~cpu =
-  Cycle_model.sample_time t.prng (t.cycle.Cycle_model.world_switch (Cpu.core_type cpu))
+  let cost =
+    Cycle_model.sample_time t.prng
+      (t.cycle.Cycle_model.world_switch (Cpu.core_type cpu))
+  in
+  match t.switch_fault with
+  | None -> cost
+  | Some f ->
+      let cost = f cost in
+      if Sim_time.is_negative cost then
+        invalid_arg "Monitor switch fault: transformed cost is negative";
+      cost
 
 let payload_start_delay t ~cpu = sample_switch t ~cpu
 

@@ -41,3 +41,11 @@ val payload_start_delay : t -> cpu:Cpu.t -> Satin_engine.Sim_time.t
 
 val switches : t -> int
 (** Completed world round-trips. *)
+
+val set_switch_fault :
+  t -> (Satin_engine.Sim_time.t -> Satin_engine.Sim_time.t) option -> unit
+(** [set_switch_fault t (Some f)] transforms every sampled world-switch cost
+    through [f] — the [satin_inject] layer uses it to spike [Ts_switch]
+    (e.g. a cold-cache or SMC-contention episode). The transformed cost must
+    stay non-negative or the next sample raises [Invalid_argument]. [None]
+    (the default) restores the bare cycle model. *)

@@ -1,6 +1,8 @@
 module Engine = Satin_engine.Engine
 module Sim_time = Satin_engine.Sim_time
 
+type fault = Deliver | Drop | Delay of Sim_time.t
+
 type t = {
   engine : Engine.t;
   gic : Gic.t;
@@ -9,10 +11,26 @@ type t = {
   mutable event : Engine.handle option;
   mutable deadline : Sim_time.t option;
   mutable fired : int;
+  mutable fault_hook : (deadline:Sim_time.t -> fault) option;
+  mutable dropped : int;
+  mutable delayed : int;
 }
 
 let create ~engine ~gic ~cpu ~irq =
-  { engine; gic; cpu; irq; event = None; deadline = None; fired = 0 }
+  {
+    engine;
+    gic;
+    cpu;
+    irq;
+    event = None;
+    deadline = None;
+    fired = 0;
+    fault_hook = None;
+    dropped = 0;
+    delayed = 0;
+  }
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 let disarm t =
   (match t.event with Some h -> Engine.cancel t.engine h | None -> ());
@@ -30,8 +48,26 @@ let arm_at t time =
   disarm t;
   let now = Engine.now t.engine in
   let time = Sim_time.max time now in
-  t.deadline <- Some time;
-  t.event <- Some (Engine.at t.engine ~time (fire t))
+  match t.fault_hook with
+  | None ->
+      t.deadline <- Some time;
+      t.event <- Some (Engine.at t.engine ~time (fire t))
+  | Some hook -> (
+      match hook ~deadline:time with
+      | Deliver ->
+          t.deadline <- Some time;
+          t.event <- Some (Engine.at t.engine ~time (fire t))
+      | Drop ->
+          (* The compare write is swallowed: the timer stays disarmed, so
+             the next introspection wake-up simply never arrives. *)
+          t.dropped <- t.dropped + 1
+      | Delay extra ->
+          if Sim_time.is_negative extra then
+            invalid_arg "Timer fault hook: Delay must be non-negative";
+          let time = Sim_time.add time extra in
+          t.delayed <- t.delayed + 1;
+          t.deadline <- Some time;
+          t.event <- Some (Engine.at t.engine ~time (fire t)))
 
 let arm_after t delay = arm_at t (Sim_time.add (Engine.now t.engine) delay)
 
@@ -39,3 +75,5 @@ let armed t = t.event <> None
 let deadline t = t.deadline
 let counter t = Engine.now t.engine
 let fired_count t = t.fired
+let dropped_count t = t.dropped
+let delayed_count t = t.delayed

@@ -36,3 +36,26 @@ val counter : t -> Satin_engine.Sim_time.t
 (** The shared physical counter value (simulation now). *)
 
 val fired_count : t -> int
+
+(** {1 Fault injection}
+
+    Deterministic perturbation of timer programming, used by the
+    [satin_inject] layer to model a flaky or hostile interrupt path. *)
+
+type fault =
+  | Deliver  (** program the compare register normally *)
+  | Drop  (** swallow the write: the timer stays disarmed *)
+  | Delay of Satin_engine.Sim_time.t
+      (** postpone the programmed deadline by the given non-negative extra;
+          {!arm_at} raises [Invalid_argument] on a negative delay *)
+
+val set_fault_hook : t -> (deadline:Satin_engine.Sim_time.t -> fault) option -> unit
+(** [set_fault_hook t (Some f)] consults [f] on every {!arm_at}/{!arm_after}
+    with the (already now-clamped) deadline about to be programmed and
+    applies the verdict. [None] (the default) restores normal behaviour. *)
+
+val dropped_count : t -> int
+(** Arm attempts swallowed by a [Drop] verdict. *)
+
+val delayed_count : t -> int
+(** Arm attempts postponed by a [Delay] verdict. *)

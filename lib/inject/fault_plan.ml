@@ -1,0 +1,85 @@
+module Sim_time = Satin_engine.Sim_time
+
+type t =
+  | Control
+  | Drop_timer_irqs of { prob : float }
+  | Delay_timer_irqs of { prob : float; max_delay : Sim_time.t }
+  | Spike_world_switch of { prob : float; factor : float }
+  | Flip_kernel_bits of { period : Sim_time.t; flips : int }
+  | Starve_rt_probers of { priority : int; burst : Sim_time.t; duty : float }
+  | Cfs_storm of { tasks_per_core : int; burst : Sim_time.t; duty : float }
+
+let name = function
+  | Control -> "control"
+  | Drop_timer_irqs _ -> "drop-timer"
+  | Delay_timer_irqs _ -> "delay-timer"
+  | Spike_world_switch _ -> "spike-switch"
+  | Flip_kernel_bits _ -> "flip-bits"
+  | Starve_rt_probers _ -> "starve-rt"
+  | Cfs_storm _ -> "cfs-storm"
+
+let to_string = function
+  | Control -> "control (no fault)"
+  | Drop_timer_irqs { prob } ->
+      Printf.sprintf "drop-timer (p=%.2f per arm)" prob
+  | Delay_timer_irqs { prob; max_delay } ->
+      Printf.sprintf "delay-timer (p=%.2f, up to %s)" prob
+        (Sim_time.to_string max_delay)
+  | Spike_world_switch { prob; factor } ->
+      Printf.sprintf "spike-switch (p=%.2f, x%.0f)" prob factor
+  | Flip_kernel_bits { period; flips } ->
+      Printf.sprintf "flip-bits (%d bit(s) every %s)" flips
+        (Sim_time.to_string period)
+  | Starve_rt_probers { priority; burst; duty } ->
+      Printf.sprintf "starve-rt (prio %d, burst %s, duty %.2f)" priority
+        (Sim_time.to_string burst) duty
+  | Cfs_storm { tasks_per_core; burst; duty } ->
+      Printf.sprintf "cfs-storm (%d/core, burst %s, duty %.2f)" tasks_per_core
+        (Sim_time.to_string burst) duty
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let validate = function
+  | Control -> ()
+  | Drop_timer_irqs { prob } | Delay_timer_irqs { prob; _ }
+  | Spike_world_switch { prob; _ } ->
+      if not (prob >= 0.0 && prob <= 1.0) then
+        invalid_arg "Fault_plan: probability out of [0,1]"
+  | Flip_kernel_bits { period; flips } ->
+      if period <= Sim_time.zero then
+        invalid_arg "Fault_plan.Flip_kernel_bits: period must be positive";
+      if flips <= 0 then
+        invalid_arg "Fault_plan.Flip_kernel_bits: flips must be positive"
+  | Starve_rt_probers { priority; burst; duty } ->
+      if priority < 1 || priority > Satin_kernel.Task.rt_priority_max then
+        invalid_arg "Fault_plan.Starve_rt_probers: priority out of 1..99";
+      if burst <= Sim_time.zero then
+        invalid_arg "Fault_plan.Starve_rt_probers: burst must be positive";
+      if not (duty > 0.0 && duty < 1.0) then
+        invalid_arg "Fault_plan.Starve_rt_probers: duty out of (0,1)"
+  | Cfs_storm { tasks_per_core; burst; duty } ->
+      if tasks_per_core <= 0 then
+        invalid_arg "Fault_plan.Cfs_storm: tasks_per_core must be positive";
+      if burst <= Sim_time.zero then
+        invalid_arg "Fault_plan.Cfs_storm: burst must be positive";
+      if not (duty > 0.0 && duty <= 1.0) then
+        invalid_arg "Fault_plan.Cfs_storm: duty out of (0,1]"
+
+(* The catalogue the detection-rate campaign sweeps: one plan per fault
+   family, each at a severity chosen to visibly perturb a 30-second
+   tp = 1 s campaign without flooring it. *)
+let catalogue =
+  [
+    Control;
+    Drop_timer_irqs { prob = 0.25 };
+    Delay_timer_irqs { prob = 0.5; max_delay = Sim_time.ms 1_500 };
+    Spike_world_switch { prob = 0.5; factor = 25.0 };
+    Flip_kernel_bits { period = Sim_time.s 5; flips = 1 };
+    Starve_rt_probers
+      {
+        priority = Satin_kernel.Task.rt_priority_max;
+        burst = Sim_time.ms 10;
+        duty = 0.5;
+      };
+    Cfs_storm { tasks_per_core = 4; burst = Sim_time.ms 5; duty = 0.8 };
+  ]

@@ -1,0 +1,71 @@
+(** Runtime invariant sanitizer for the simulation substrate.
+
+    The sanitizer rides the engine's observer hook and validates, on a
+    sampled cadence, that the simulation's own bookkeeping is still
+    coherent:
+
+    - {e clock monotonicity} (every event; one comparison): fired events
+      must carry non-decreasing instants — a rewind means engine-state
+      corruption;
+    - {e event-queue health} (sampled):
+      {!Satin_engine.Engine.invariant_violations} — heap order, live-count
+      accounting, vacated-slot clearing;
+    - {e scheduler coherence} (sampled, when a {!Satin_kernel.Sched.t} is
+      given): per-core world/run-state consistency, queue ordering, no
+      double-queued task;
+    - {e process-table structure} (sampled, when a
+      {!Satin_kernel.Proc_table.t} is given): list linkage, slot
+      accounting.
+
+    It is surfaced as [--check] on every [satin_cli] subcommand and on
+    [bench/main.exe]: {!set_check_mode} flips a global flag that
+    [Scenario.create] consults to auto-attach an instance to every scenario
+    it builds; violations aggregate into process-global counters
+    ({!global_report}) and the drivers exit nonzero when any were found.
+
+    Domain safety: the per-scenario instance is confined to the domain
+    running that trial; the global aggregates are atomics plus a
+    mutex-guarded capped message list. Because the sanitizer only {e reads}
+    simulation state and integer totals commute, a [--check] campaign stays
+    byte-identical at any [--jobs] width. *)
+
+(** {1 Global check mode} *)
+
+val set_check_mode : bool -> unit
+(** Enable/disable auto-attachment in [Scenario.create]. Off by default. *)
+
+val check_mode : unit -> bool
+
+type report = { checks : int; violations : int; messages : string list }
+(** [messages] is capped at 32 entries (each prefixed by the instance
+    name); [checks]/[violations] keep exact totals. *)
+
+val global_report : unit -> report
+
+val reset_global : unit -> unit
+
+(** {1 Per-engine instances} *)
+
+type t
+
+val attach :
+  ?sample_every:int ->
+  ?name:string ->
+  ?sched:Satin_kernel.Sched.t ->
+  ?proc_table:Satin_kernel.Proc_table.t ->
+  Satin_engine.Engine.t ->
+  t
+(** Chains onto the engine's observer (preserving any observer already
+    installed, e.g. the metrics one) and samples the structural checks every
+    [sample_every] fired events (default 512; must be >= 1, enforced with
+    [Invalid_argument]). Monotonicity is checked on every event. *)
+
+val check_now : t -> string list
+(** Run a full structural sweep immediately; returns (and records) the
+    violations found. Drivers call this once more after a run so corruption
+    introduced after the last sampled event still counts. *)
+
+val checks : t -> int
+(** Checks this instance has run (sampled + explicit). *)
+
+val violations : t -> int

@@ -133,6 +133,63 @@ let relink_tasks t ~world ~pid =
   if not (tasks_linked t ~pid) then
     list_relink t ~world ~next:off_tasks_next ~prev:off_tasks_prev node
 
+let invariant_violations t =
+  let world = World.Secure in
+  let out = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let limit = t.capacity + 2 in
+  (* Walk a list checking next/prev mutual consistency and termination.
+     Note the checks hold even mid-DKOM: an unlinked node is simply not
+     reachable, and cross-view divergence is the detector's business, not
+     a structural corruption. *)
+  let check_list name head next prev =
+    let rec go addr n =
+      if addr <> head then
+        if n > limit then fail "%s list does not terminate (cycle?)" name
+        else begin
+          let nxt = read_addr t ~world (addr + next) in
+          if read_addr t ~world (nxt + prev) <> addr then
+            fail "%s list: node 0x%x next/prev mismatch" name addr;
+          let pid = Int64.to_int (read_word t ~world (addr + off_pid)) in
+          (match Hashtbl.find_opt t.pid_slot pid with
+          | Some slot when slot_addr t slot = addr -> ()
+          | Some _ ->
+              fail "%s list: pid %d linked at 0x%x but allocated elsewhere"
+                name pid addr
+          | None -> fail "%s list: pid %d linked but not allocated" name pid);
+          if read_word t ~world (addr + off_live) <> 1L then
+            fail "%s list: pid %d linked but live flag clear" name pid;
+          go nxt (n + 1)
+        end
+    in
+    go (read_addr t ~world (head + next)) 0
+  in
+  check_list "tasks" (tasks_head t) off_tasks_next off_tasks_prev;
+  check_list "runqueue" (run_head t) off_run_next off_run_prev;
+  (* Every runnable process must be a live allocated one; duplicates in a
+     walk mean a splice went wrong. *)
+  let run = pids_via_runqueue t ~world in
+  let rec dups = function
+    | p :: tl ->
+        if List.mem p tl then fail "runqueue lists pid %d twice" p;
+        dups tl
+    | [] -> ()
+  in
+  dups run;
+  dups (pids_via_tasks t ~world);
+  (* Free-list accounting: free + live = capacity, no slot on both sides. *)
+  if List.length t.free + Hashtbl.length t.pid_slot <> t.capacity then
+    fail "slot accounting: %d free + %d live <> capacity %d"
+      (List.length t.free)
+      (Hashtbl.length t.pid_slot)
+      t.capacity;
+  Hashtbl.iter
+    (fun pid slot ->
+      if List.mem slot t.free then
+        fail "slot %d of live pid %d is also on the free list" slot pid)
+    t.pid_slot;
+  List.rev !out
+
 let exit_process t ~pid =
   let node = addr_of_pid t ~pid in
   let world = World.Normal in

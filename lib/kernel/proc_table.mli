@@ -56,3 +56,12 @@ val relink_tasks : t -> world:Satin_hw.World.t -> pid:int -> unit
 
 val tasks_linked : t -> pid:int -> bool
 (** Whether the PCB is currently reachable from the all-tasks head. *)
+
+val invariant_violations : t -> string list
+(** Structural self-check, sampled by the simulation sanitizer; empty when
+    healthy. Verifies next/prev mutual consistency and termination of both
+    circular lists, that every linked PCB belongs to an allocated live pid,
+    that no walk lists a pid twice, and that slot accounting balances
+    (free + live = capacity, no slot on both sides). Deliberately does
+    {e not} flag DKOM cross-view divergence — that is the detector's
+    observable, not a simulation bug. *)

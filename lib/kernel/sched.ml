@@ -391,3 +391,61 @@ let runnable_count t ~core =
 
 let on_enqueue t f = t.enqueue_hooks <- t.enqueue_hooks @ [ f ]
 let context_switches t = t.switches
+
+let invariant_violations t =
+  let out = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  Array.iteri
+    (fun core cs ->
+      (* A core held by the secure world parks its current task. *)
+      (match cs.cur with
+      | Some r when Cpu.in_secure cs.cpu ->
+          fail "core %d: secure world but %s still current" core
+            (Task.name r.r_task)
+      | Some r when Task.state r.r_task <> Task.Running ->
+          fail "core %d: current task %s not in Running state" core
+            (Task.name r.r_task)
+      | Some _ | None -> ());
+      let check_queued which task =
+        if Task.state task <> Task.Ready then
+          fail "core %d: %s-queued task %s not in Ready state" core which
+            (Task.name task)
+      in
+      List.iter (check_queued "rt") cs.rt_queue;
+      List.iter (check_queued "cfs") cs.cfs_queue;
+      (* rt_queue descending static priority. *)
+      let rec rt_order = function
+        | a :: (b :: _ as tl) ->
+            if rt_prio a < rt_prio b then
+              fail "core %d: rt_queue out of priority order (%s < %s)" core
+                (Task.name a) (Task.name b);
+            rt_order tl
+        | [ _ ] | [] -> ()
+      in
+      rt_order cs.rt_queue;
+      (* cfs_queue ascending vruntime. *)
+      let rec cfs_order = function
+        | a :: (b :: _ as tl) ->
+            if Task.vruntime a > Task.vruntime b then
+              fail "core %d: cfs_queue out of vruntime order (%s > %s)" core
+                (Task.name a) (Task.name b);
+            cfs_order tl
+        | [ _ ] | [] -> ()
+      in
+      cfs_order cs.cfs_queue;
+      (* No task queued twice, and no current task also queued. *)
+      let all =
+        (match cs.cur with Some r -> [ r.r_task ] | None -> [])
+        @ cs.rt_queue @ cs.cfs_queue
+      in
+      let rec dup = function
+        | a :: tl ->
+            if List.memq a tl then
+              fail "core %d: task %s present twice in the run queues" core
+                (Task.name a);
+            dup tl
+        | [] -> ()
+      in
+      dup all)
+    t.cores;
+  List.rev !out

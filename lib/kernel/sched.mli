@@ -51,6 +51,13 @@ val on_enqueue : t -> (core:int -> unit) -> unit
 val context_switches : t -> int
 (** Total dispatches across all cores. *)
 
+val invariant_violations : t -> string list
+(** Structural self-check, sampled by the simulation sanitizer; empty when
+    healthy. Checks per core: a secure-held core has no current task; the
+    current task is [Running] and queued tasks are [Ready]; [rt_queue] is in
+    descending static priority and [cfs_queue] in ascending vruntime; no
+    task appears on two queues (or both current and queued). *)
+
 val exited : Task.t -> bool
 
 (** Scheduling parameters (Linux-flavoured defaults). *)

@@ -3,6 +3,10 @@ module Engine = Satin_engine.Engine
 
 type t = {
   metrics : Metrics.t;
+  wall_metrics : Metrics.t;
+  (* Real-time (host wall-clock) measurements live in their own registry so
+     the deterministic one stays byte-stable across runs — DESIGN §7's
+     [--metrics] contract. *)
   tracing : Tracing.t;
   mutable horizon : Sim_time.t;
 }
@@ -10,9 +14,15 @@ type t = {
 let current_state : t option ref = ref None
 
 let create () =
-  { metrics = Metrics.create (); tracing = Tracing.create (); horizon = Sim_time.zero }
+  {
+    metrics = Metrics.create ();
+    wall_metrics = Metrics.create ();
+    tracing = Tracing.create ();
+    horizon = Sim_time.zero;
+  }
 
 let metrics t = t.metrics
+let wall_metrics t = t.wall_metrics
 let tracing t = t.tracing
 
 let install t = current_state := Some t
@@ -44,6 +54,11 @@ let observe_time ?labels name d =
   match !current_state with
   | None -> ()
   | Some s -> Metrics.observe_time s.metrics ?labels name d
+
+let observe_wall ?labels name v =
+  match !current_state with
+  | None -> ()
+  | Some s -> Metrics.observe s.wall_metrics ?labels name v
 
 let span_begin ~time ~track ?cat ?args name =
   match !current_state with
@@ -96,6 +111,13 @@ let metrics_json t =
     [
       ("schema", Json.String "satin-metrics/v1");
       ("snapshots", Json.List (Metrics.snapshots t.metrics @ [ final ]));
+    ]
+
+let wall_metrics_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "satin-wall-metrics/v1");
+      ("snapshot", Metrics.snapshot t.wall_metrics ~at:(horizon t));
     ]
 
 let write_file path contents =

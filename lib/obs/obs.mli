@@ -18,6 +18,13 @@ type t
 val create : unit -> t
 
 val metrics : t -> Metrics.t
+
+val wall_metrics : t -> Metrics.t
+(** The real-time registry: host wall-clock measurements
+    ([runner.batch_wall_s], [experiment.wall_s]) land here, segregated from
+    {!metrics} so the deterministic registry — and therefore the
+    [--metrics] export — stays byte-stable run to run (DESIGN §7). *)
+
 val tracing : t -> Tracing.t
 
 val install : t -> unit
@@ -34,6 +41,11 @@ val incr : ?labels:Metrics.labels -> ?by:int -> string -> unit
 val set_gauge : ?labels:Metrics.labels -> string -> float -> unit
 val observe : ?labels:Metrics.labels -> string -> float -> unit
 val observe_time : ?labels:Metrics.labels -> string -> Satin_engine.Sim_time.t -> unit
+
+val observe_wall : ?labels:Metrics.labels -> string -> float -> unit
+(** Record a host wall-clock measurement into {!wall_metrics}. Use this —
+    never {!observe} — for [Unix.gettimeofday] deltas and anything else
+    nondeterministic, so the deterministic registry stays byte-stable. *)
 
 val span_begin :
   time:Satin_engine.Sim_time.t ->
@@ -72,7 +84,13 @@ val trace_json : t -> Json.t
 
 val metrics_json : t -> Json.t
 (** [{"schema": ..., "snapshots": [...]}] — any recorded snapshots plus a
-    final one stamped at {!horizon}. *)
+    final one stamped at {!horizon}. Deterministic registry only: wall-clock
+    measurements never appear here, keeping the export byte-stable. *)
+
+val wall_metrics_json : t -> Json.t
+(** The real-time registry as a separate document
+    ([{"schema": "satin-wall-metrics/v1", ...}]). Nondeterministic by
+    nature; never mixed into {!metrics_json}. *)
 
 val write_trace : t -> string -> unit
 (** Write {!trace_json} to a file. *)

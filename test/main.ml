@@ -30,6 +30,7 @@ let () =
       ("cache_prober", Test_cache_prober.suite);
       ("sync_guard", Test_sync_guard.suite);
       ("merkle", Test_merkle.suite);
+      ("inject", Test_inject.suite);
       ("runner", Test_runner.suite);
       ("experiments_smoke", Test_experiments_smoke.suite);
       ("determinism", Test_determinism.suite);

@@ -103,6 +103,36 @@ let test_every_cancel_from_callback () =
   Engine.run_until e (Sim_time.ms 200);
   Alcotest.(check int) "stopped from inside" 3 !hits
 
+let test_every_no_throwaway_entry () =
+  (* Regression: [every] used to push a placeholder event just to have a
+     handle for the ref, leaking one dead entry per recurrence set up. The
+     only pending event must be the first real occurrence. *)
+  let e = Engine.create () in
+  ignore (Engine.every e ~period:(Sim_time.ms 10) (fun () -> ()));
+  Alcotest.(check int) "exactly one pending event" 1 (Engine.pending e)
+
+let test_every_past_start_raises () =
+  let e = Engine.create () in
+  Engine.run_until e (Sim_time.ms 100);
+  Alcotest.check_raises "past start rejected"
+    (Invalid_argument "Engine.every: ~start is in the past") (fun () ->
+      ignore
+        (Engine.every e ~period:(Sim_time.ms 10) ~start:(Sim_time.ms 50)
+           (fun () -> ())));
+  (* A rejected recurrence must not leave a pending event behind. *)
+  Alcotest.(check int) "nothing scheduled" 0 (Engine.pending e)
+
+let test_every_start_now_allowed () =
+  (* ~start = now is the boundary: allowed, fires immediately. *)
+  let e = Engine.create () in
+  Engine.run_until e (Sim_time.ms 5);
+  let hits = ref 0 in
+  ignore
+    (Engine.every e ~period:(Sim_time.ms 10) ~start:(Sim_time.ms 5) (fun () ->
+         incr hits));
+  Engine.run_until e (Sim_time.ms 5);
+  Alcotest.(check int) "fires at start=now" 1 !hits
+
 let test_step () =
   let e = Engine.create () in
   ignore (Engine.schedule e ~after:1 (fun () -> ()));
@@ -155,6 +185,12 @@ let suite =
     Alcotest.test_case "every" `Quick test_every;
     Alcotest.test_case "every with start" `Quick test_every_with_start;
     Alcotest.test_case "every cancel from callback" `Quick test_every_cancel_from_callback;
+    Alcotest.test_case "every: no throwaway entry" `Quick
+      test_every_no_throwaway_entry;
+    Alcotest.test_case "every: past start raises" `Quick
+      test_every_past_start_raises;
+    Alcotest.test_case "every: start=now allowed" `Quick
+      test_every_start_now_allowed;
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "run_all limit" `Quick test_run_all_limit;
     Alcotest.test_case "run_all outcomes" `Quick test_run_all_outcomes;

@@ -74,6 +74,98 @@ let test_growth () =
     | None -> Alcotest.fail "missing event"
   done
 
+let test_fired_payloads_collectible () =
+  (* Regression for the space leak: popped (and cancelled) slots must not
+     keep a strong reference to the payload, or a long-lived queue pins
+     every closure it ever fired. *)
+  let q = Event_queue.create () in
+  let w = Weak.create 2 in
+  let () =
+    (* Allocate in a local scope so the only strong refs are the queue's. *)
+    let popped = Bytes.create 64 in
+    let cancelled = Bytes.create 64 in
+    Weak.set w 0 (Some popped);
+    Weak.set w 1 (Some cancelled);
+    ignore (Event_queue.push q ~time:1 popped);
+    let h = Event_queue.push q ~time:2 cancelled in
+    ignore (Event_queue.pop q);
+    Event_queue.cancel q h;
+    (* The cancelled entry is dropped lazily; draining reaches it. *)
+    ignore (Event_queue.pop q)
+  in
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check w 0);
+  Alcotest.(check bool) "cancelled payload collected" false (Weak.check w 1);
+  (* The queue itself must survive the test (keep it live past the GC). *)
+  Alcotest.(check bool) "queue empty" true (Event_queue.is_empty q)
+
+(* Model-based property: the queue against a reference implementation (a
+   sorted association list keyed by (time, insertion seq)) under an
+   arbitrary interleaving of push / cancel / pop. *)
+type op = Push of int | Cancel of int | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun t -> Push t) (int_bound 1000));
+        (2, map (fun i -> Cancel i) (int_bound 50));
+        (3, return Pop);
+      ])
+
+let op_print = function
+  | Push t -> Printf.sprintf "Push %d" t
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+  | Pop -> "Pop"
+
+let prop_matches_reference_model =
+  QCheck.Test.make ~name:"queue matches sorted-list model under push/cancel/pop"
+    ~count:200
+    QCheck.(list_of_size Gen.(0 -- 120) (make ~print:op_print op_gen))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let handles = ref [||] in
+      (* model: (seq, time, alive ref) in insertion order *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let model_pop () =
+        let live = List.filter (fun (_, _, a) -> !a) !model in
+        match
+          List.sort
+            (fun (s1, t1, _) (s2, t2, _) -> compare (t1, s1) (t2, s2))
+            live
+        with
+        | [] -> None
+        | (s, t, a) :: _ ->
+            a := false;
+            Some (t, s)
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Push t ->
+              let h = Event_queue.push q ~time:t !seq in
+              handles := Array.append !handles [| h |];
+              model := !model @ [ (!seq, t, ref true) ];
+              incr seq
+          | Cancel i when i < Array.length !handles ->
+              Event_queue.cancel q !handles.(i);
+              let s, _, a = List.nth !model i in
+              assert (s = i);
+              a := false
+          | Cancel _ -> ()
+          | Pop ->
+              let got = Event_queue.pop q in
+              let want = model_pop () in
+              if got <> want then ok := false)
+        ops;
+      let live_model = List.length (List.filter (fun (_, _, a) -> !a) !model) in
+      !ok
+      && Event_queue.length q = live_model
+      && Event_queue.invariant_violations q = [])
+
 let prop_heap_orders_any_sequence =
   QCheck.Test.make ~name:"pop yields non-decreasing times"
     QCheck.(list_of_size Gen.(0 -- 200) (int_bound 1000))
@@ -110,6 +202,9 @@ let suite =
     Alcotest.test_case "peek skips cancelled" `Quick test_peek_skips_cancelled;
     Alcotest.test_case "pop empty" `Quick test_pop_empty;
     Alcotest.test_case "growth to 1000" `Quick test_growth;
+    Alcotest.test_case "fired payloads collectible" `Quick
+      test_fired_payloads_collectible;
+    QCheck_alcotest.to_alcotest prop_matches_reference_model;
     QCheck_alcotest.to_alcotest prop_heap_orders_any_sequence;
     QCheck_alcotest.to_alcotest prop_cancel_half;
   ]

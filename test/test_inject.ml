@@ -1,0 +1,229 @@
+(* The fault-injection layer and the simulation sanitizer: plans validate,
+   the injector is deterministic in its seed, and — the point of the whole
+   subsystem — deliberate corruption of engine state is actually caught. *)
+
+open Satin_engine
+module Fault_plan = Satin_inject.Fault_plan
+module Injector = Satin_inject.Injector
+module Sanitizer = Satin_inject.Sanitizer
+module Scenario = Satin.Scenario
+module E = Satin.Experiment
+module Areas = Satin_introspect.Area
+
+(* --- fault plans ------------------------------------------------------ *)
+
+let test_plan_validation () =
+  let bad name p =
+    Alcotest.(check bool) name true
+      (try
+         Fault_plan.validate p;
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "prob > 1" (Fault_plan.Drop_timer_irqs { prob = 1.5 });
+  bad "negative prob"
+    (Fault_plan.Delay_timer_irqs { prob = -0.1; max_delay = Sim_time.ms 1 });
+  bad "zero period" (Fault_plan.Flip_kernel_bits { period = 0; flips = 1 });
+  bad "zero flips"
+    (Fault_plan.Flip_kernel_bits { period = Sim_time.s 1; flips = 0 });
+  bad "duty > 1"
+    (Fault_plan.Cfs_storm
+       { tasks_per_core = 1; burst = Sim_time.ms 1; duty = 1.5 });
+  (* Every catalogue entry must be self-consistent. *)
+  List.iter Fault_plan.validate Fault_plan.catalogue
+
+let test_plan_names_distinct () =
+  let names = List.map Fault_plan.name Fault_plan.catalogue in
+  Alcotest.(check int)
+    "names unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun n -> Alcotest.(check bool) "non-empty name" true (String.length n > 0))
+    names
+
+(* --- sanitizer: deliberate corruption is caught ----------------------- *)
+
+let with_check f =
+  Sanitizer.reset_global ();
+  Sanitizer.set_check_mode true;
+  Fun.protect ~finally:(fun () -> Sanitizer.set_check_mode false) f
+
+let test_clock_rewind_caught () =
+  let e = Engine.create () in
+  let s = Sanitizer.attach ~name:"rewind-test" e in
+  ignore (Engine.schedule e ~after:(Sim_time.ms 10) (fun () -> ()));
+  Engine.run_until e (Sim_time.ms 10);
+  Alcotest.(check int) "clean so far" 0 (Sanitizer.violations s);
+  Engine.Unsafe.set_clock e (Sim_time.ms 3);
+  let msgs = Sanitizer.check_now s in
+  Alcotest.(check bool) "rewind reported" true (msgs <> []);
+  Alcotest.(check bool) "violation counted" true (Sanitizer.violations s > 0)
+
+let test_live_count_skew_caught () =
+  let e = Engine.create () in
+  let s = Sanitizer.attach ~name:"skew-test" e in
+  ignore (Engine.schedule e ~after:(Sim_time.ms 5) (fun () -> ()));
+  Alcotest.(check (list string)) "clean before skew" [] (Sanitizer.check_now s);
+  Engine.Unsafe.skew_live e 2;
+  Alcotest.(check bool) "skew reported" true (Sanitizer.check_now s <> [])
+
+let test_skew_caught_on_sampled_cadence () =
+  (* Corruption introduced mid-run must surface through the observer's
+     sampled sweep, without anyone calling [check_now]. *)
+  let e = Engine.create () in
+  let s = Sanitizer.attach ~sample_every:8 ~name:"cadence-test" e in
+  for i = 1 to 4 do
+    ignore
+      (Engine.schedule e ~after:(Sim_time.ms i) (fun () ->
+           if i = 2 then Engine.Unsafe.skew_live e 1))
+  done;
+  for i = 5 to 32 do
+    ignore (Engine.schedule e ~after:(Sim_time.ms i) (fun () -> ()))
+  done;
+  Engine.run_until e (Sim_time.ms 40);
+  Alcotest.(check bool) "sampled sweep caught it" true
+    (Sanitizer.violations s > 0)
+
+let test_event_queue_skew_caught () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:1 "x");
+  Alcotest.(check (list string)) "clean" [] (Event_queue.invariant_violations q);
+  Event_queue.Unsafe.skew_live q (-1);
+  Alcotest.(check bool) "accounting skew reported" true
+    (Event_queue.invariant_violations q <> [])
+
+let test_sanitizer_chains_observer () =
+  let e = Engine.create () in
+  let seen = ref 0 in
+  Engine.set_observer e (Some (fun ~time:_ ~pending:_ -> incr seen));
+  let _s = Sanitizer.attach ~name:"chain-test" e in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~after:(Sim_time.ms i) (fun () -> ()))
+  done;
+  Engine.run_until e (Sim_time.ms 10);
+  Alcotest.(check int) "previous observer still runs" 5 !seen
+
+let test_attach_rejects_bad_cadence () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "sample_every 0 rejected" true
+    (try
+       ignore (Sanitizer.attach ~sample_every:0 e);
+       false
+     with Invalid_argument _ -> true)
+
+let test_clean_scenario_zero_violations () =
+  with_check (fun () ->
+      let sc = Scenario.create ~seed:7 () in
+      (match sc.Scenario.sanitizer with
+      | None -> Alcotest.fail "check mode on but no sanitizer attached"
+      | Some _ -> ());
+      Scenario.run_for sc (Sim_time.s 2);
+      (match sc.Scenario.sanitizer with
+      | Some s ->
+          Alcotest.(check (list string)) "final sweep clean" []
+            (Sanitizer.check_now s)
+      | None -> ());
+      let r = Sanitizer.global_report () in
+      Alcotest.(check int) "no violations" 0 r.Sanitizer.violations;
+      Alcotest.(check bool) "checks actually ran" true (r.Sanitizer.checks > 0))
+
+let test_check_mode_off_no_sanitizer () =
+  Alcotest.(check bool) "mode off" false (Sanitizer.check_mode ());
+  let sc = Scenario.create ~seed:7 () in
+  Alcotest.(check bool) "no sanitizer attached" true
+    (sc.Scenario.sanitizer = None)
+
+let test_global_report_aggregates () =
+  with_check (fun () ->
+      let e = Engine.create () in
+      let s = Sanitizer.attach ~name:"agg" e in
+      Engine.Unsafe.skew_live e 1;
+      ignore (Sanitizer.check_now s);
+      let r = Sanitizer.global_report () in
+      Alcotest.(check bool) "global violations" true (r.Sanitizer.violations > 0);
+      Alcotest.(check bool) "message captured" true
+        (List.exists
+           (fun m ->
+             (* each message is prefixed "[name] ..." *)
+             String.length m >= 5 && String.sub m 0 5 = "[agg]")
+           r.Sanitizer.messages))
+
+(* --- injector --------------------------------------------------------- *)
+
+let test_injector_requires_areas_for_flips () =
+  let sc = Scenario.create ~seed:3 () in
+  Alcotest.(check bool) "empty areas rejected" true
+    (try
+       ignore
+         (Injector.install
+            ~plan:(Fault_plan.Flip_kernel_bits { period = Sim_time.s 1; flips = 1 })
+            ~seed:1 ~platform:sc.Scenario.platform ~kernel:sc.Scenario.kernel
+            ~areas:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_injector_deterministic () =
+  let run () =
+    let sc = Scenario.create ~seed:5 () in
+    let inj =
+      Injector.install
+        ~plan:(Fault_plan.Drop_timer_irqs { prob = 0.5 })
+        ~seed:11 ~platform:sc.Scenario.platform ~kernel:sc.Scenario.kernel
+        ~areas:
+          (Areas.of_layout sc.Scenario.kernel.Satin_kernel.Kernel.layout)
+    in
+    let _satin = Scenario.install_satin sc () in
+    Scenario.run_for sc (Sim_time.s 5);
+    (Injector.timer_drops inj, Injector.fault_events inj)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair int int)) "same seed, same faults" a b;
+  Alcotest.(check bool) "faults actually injected" true (fst a > 0)
+
+(* --- campaign trials -------------------------------------------------- *)
+
+let test_control_trial_detects () =
+  let t = E.fault_campaign_trial ~seed:42 ~window_s:25 Fault_plan.Control in
+  Alcotest.(check bool) "rootkit detected under control" true t.E.ft_detected;
+  Alcotest.(check int) "control injects nothing" 0 t.E.ft_faults;
+  Alcotest.(check bool) "rounds completed" true (t.E.ft_rounds > 0);
+  match t.E.ft_latency_s with
+  | Some l -> Alcotest.(check bool) "positive latency" true (l > 0.0)
+  | None -> Alcotest.fail "detected trial must report a latency"
+
+let test_faulted_trial_reproducible () =
+  let plan = Fault_plan.Delay_timer_irqs { prob = 0.5; max_delay = Sim_time.ms 1500 } in
+  let a = E.fault_campaign_trial ~seed:9 ~window_s:25 plan in
+  let b = E.fault_campaign_trial ~seed:9 ~window_s:25 plan in
+  Alcotest.(check bool) "identical trials" true (a = b);
+  Alcotest.(check bool) "faults applied" true (a.E.ft_faults > 0)
+
+let suite =
+  [
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "plan names distinct" `Quick test_plan_names_distinct;
+    Alcotest.test_case "clock rewind caught" `Quick test_clock_rewind_caught;
+    Alcotest.test_case "live-count skew caught" `Quick
+      test_live_count_skew_caught;
+    Alcotest.test_case "skew caught on sampled cadence" `Quick
+      test_skew_caught_on_sampled_cadence;
+    Alcotest.test_case "event-queue skew caught" `Quick
+      test_event_queue_skew_caught;
+    Alcotest.test_case "sanitizer chains observer" `Quick
+      test_sanitizer_chains_observer;
+    Alcotest.test_case "attach rejects bad cadence" `Quick
+      test_attach_rejects_bad_cadence;
+    Alcotest.test_case "clean scenario: zero violations" `Quick
+      test_clean_scenario_zero_violations;
+    Alcotest.test_case "check mode off: no sanitizer" `Quick
+      test_check_mode_off_no_sanitizer;
+    Alcotest.test_case "global report aggregates" `Quick
+      test_global_report_aggregates;
+    Alcotest.test_case "flip plan needs areas" `Quick
+      test_injector_requires_areas_for_flips;
+    Alcotest.test_case "injector deterministic" `Quick
+      test_injector_deterministic;
+    Alcotest.test_case "control trial detects" `Slow test_control_trial_detects;
+    Alcotest.test_case "faulted trial reproducible" `Slow
+      test_faulted_trial_reproducible;
+  ]

@@ -135,6 +135,42 @@ let test_determinism () =
       Alcotest.(check bool) "non-trivial trace" true (List.length evs > 10)
   | _ -> Alcotest.fail "missing traceEvents"
 
+let test_wall_metrics_segregated () =
+  (* The --metrics byte-stability fix: wall-clock observations land in a
+     separate registry and never leak into the deterministic export. Two
+     runs that differ ONLY in their wall-clock samples must export
+     byte-identical metrics_json. *)
+  let run wall_sample =
+    let obs = Obs.create () in
+    Obs.install obs;
+    Fun.protect ~finally:Obs.uninstall (fun () ->
+        Obs.incr "deterministic.counter";
+        Obs.observe "deterministic.histo" 0.25;
+        Obs.observe_wall "runner.batch_wall_s" wall_sample);
+    obs
+  in
+  let a = run 0.001 and b = run 123.456 in
+  Alcotest.(check string) "metrics_json ignores wall-clock samples"
+    (Json.to_string (Obs.metrics_json a))
+    (Json.to_string (Obs.metrics_json b));
+  (* The wall registry did record them, under its own schema... *)
+  (match Json.member "schema" (Obs.wall_metrics_json a) with
+  | Some (Json.String s) ->
+      Alcotest.(check string) "wall schema" "satin-wall-metrics/v1" s
+  | _ -> Alcotest.fail "wall export missing schema");
+  Alcotest.(check bool) "wall exports differ (they saw different samples)"
+    true
+    (Json.to_string (Obs.wall_metrics_json a)
+    <> Json.to_string (Obs.wall_metrics_json b));
+  (* ...and the deterministic export does not mention the wall metric. *)
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no wall metric in deterministic export" false
+    (contains (Json.to_string (Obs.metrics_json a)) "batch_wall")
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter;
@@ -148,5 +184,7 @@ let suite =
     Alcotest.test_case "chrome trace golden" `Quick test_chrome_golden;
     Alcotest.test_case "end_span pops innermost" `Quick
       test_end_span_pops_innermost;
+    Alcotest.test_case "wall metrics segregated" `Quick
+      test_wall_metrics_segregated;
     Alcotest.test_case "same-seed exports identical" `Slow test_determinism;
   ]

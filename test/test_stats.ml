@@ -128,6 +128,32 @@ let prop_quantile_monotone =
       in
       mono vals)
 
+let test_nan_rejected () =
+  let s = feed [ 1.0; 2.0 ] in
+  Alcotest.(check bool) "add nan raises" true
+    (try
+       Stats.add s Float.nan;
+       false
+     with Invalid_argument _ -> true);
+  (* The rejected sample must not have touched the accumulator. *)
+  Alcotest.(check int) "count unchanged" 2 (Stats.count s);
+  checkf "mean unchanged" 1.5 (Stats.mean s);
+  let r = Stats.Running.create () in
+  Stats.Running.add r 1.0;
+  Alcotest.(check bool) "Running.add nan raises" true
+    (try
+       Stats.Running.add r (0.0 /. 0.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "running count unchanged" 1 (Stats.Running.count r)
+
+let test_infinities_accepted () =
+  (* The contract draws the line at NaN: infinities order correctly. *)
+  let s = feed [ 1.0; Float.infinity; Float.neg_infinity ] in
+  Alcotest.(check int) "count" 3 (Stats.count s);
+  Alcotest.(check bool) "min is -inf" true (Stats.min s = Float.neg_infinity);
+  Alcotest.(check bool) "max is +inf" true (Stats.max s = Float.infinity)
+
 let prop_mean_between_min_max =
   QCheck.Test.make ~name:"min <= mean <= max"
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
@@ -150,6 +176,8 @@ let suite =
     Alcotest.test_case "summary row format" `Quick test_summary_row;
     Alcotest.test_case "running matches exact" `Quick test_running_matches_exact;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+    Alcotest.test_case "infinities accepted" `Quick test_infinities_accepted;
     QCheck_alcotest.to_alcotest prop_quantile_monotone;
     QCheck_alcotest.to_alcotest prop_mean_between_min_max;
   ]
