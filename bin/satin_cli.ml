@@ -4,6 +4,10 @@ open Cmdliner
 module E = Satin.Experiment
 module Obs = Satin_obs.Obs
 module Sanitizer = Satin_inject.Sanitizer
+module Runner = Satin_runner.Runner
+module Store = Satin_store.Store
+module SKey = Satin_store.Key
+module Fingerprint = Satin_store.Fingerprint
 
 let fmt = Format.std_formatter
 
@@ -44,14 +48,58 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let store_arg =
+  let doc =
+    "Serve previously-computed trials from the result store rooted at \
+     $(docv) (created if absent) and persist every newly-computed trial \
+     into it, so repeated runs are incremental. Reports are byte-identical \
+     warm or cold, at any --jobs width. Defaults to \\$SATIN_STORE when \
+     that is set."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let no_store_arg =
+  let doc =
+    "Never touch a result store, even when \\$SATIN_STORE is set: every \
+     trial recomputes."
+  in
+  Arg.(value & flag & info [ "no-store" ] ~doc)
+
+let resolve_store dir no_store =
+  if no_store then None
+  else match dir with Some _ -> dir | None -> Sys.getenv_opt "SATIN_STORE"
+
+(* Install the result store around [f] when one was asked for; the
+   hit/miss summary goes to stderr so stdout stays byte-identical between
+   warm and cold runs. *)
+let with_store dir no_store f =
+  match resolve_store dir no_store with
+  | None -> f ()
+  | Some dir ->
+      let store = Store.open_ dir in
+      Store.install store;
+      Fun.protect
+        ~finally:(fun () ->
+          Store.uninstall ();
+          Printf.eprintf "%s\n" (Store.summary_line store))
+        f
+
 (* Enable check mode around [f]; report to stderr (stdout stays the
-   byte-stable experiment report) and exit nonzero on violations. *)
+   byte-stable experiment report) and exit nonzero on violations. Check
+   mode also enters the ambient store-key context: a sanitized run must
+   never be served wholesale from a clean run's records — that would skip
+   the sanitizer — so its trials key differently. *)
 let with_check check f =
   if not check then f ()
   else begin
     Sanitizer.reset_global ();
     Sanitizer.set_check_mode true;
-    Fun.protect ~finally:(fun () -> Sanitizer.set_check_mode false) f;
+    SKey.set_ambient [ ("check", "1") ];
+    Fun.protect
+      ~finally:(fun () ->
+        Sanitizer.set_check_mode false;
+        SKey.set_ambient [])
+      f;
     let r = Sanitizer.global_report () in
     if r.Sanitizer.violations > 0 then begin
       Printf.eprintf "sanitizer: %d violation(s) in %d check(s)\n"
@@ -77,33 +125,41 @@ let with_obs trace metrics f =
       Option.iter (Obs.write_metrics obs) metrics
 
 let simple name doc f =
-  let run seed jobs trace metrics check =
-    let pool = Satin_runner.Runner.create ~jobs () in
-    with_check check (fun () -> with_obs trace metrics (fun () -> f pool seed))
+  let run seed jobs trace metrics check store no_store =
+    let pool = Runner.create ~jobs () in
+    with_check check (fun () ->
+        with_store store no_store (fun () ->
+            with_obs trace metrics (fun () -> f pool seed)))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ check_arg)
+      const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ check_arg
+      $ store_arg $ no_store_arg)
 
 (* Like [simple] but with the [--quick] flag. *)
 let campaign name doc f =
-  let run seed quick jobs trace metrics check =
-    let pool = Satin_runner.Runner.create ~jobs () in
+  let run seed quick jobs trace metrics check store no_store =
+    let pool = Runner.create ~jobs () in
     with_check check (fun () ->
-        with_obs trace metrics (fun () -> f pool seed quick))
+        with_store store no_store (fun () ->
+            with_obs trace metrics (fun () -> f pool seed quick)))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ jobs_arg $ trace_arg $ metrics_arg
-      $ check_arg)
+      $ check_arg $ store_arg $ no_store_arg)
 
-(* Closed-form commands: no seed, but still accept the export flags. *)
+(* Closed-form commands: no seed, but still accept the export flags (and
+   the store flags, which they harmlessly ignore — nothing to memoize). *)
 let closed_form name doc f =
-  let run trace metrics check =
-    with_check check (fun () -> with_obs trace metrics f)
+  let run trace metrics check store no_store =
+    with_check check (fun () ->
+        with_store store no_store (fun () -> with_obs trace metrics f))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ check_arg)
+    Term.(
+      const run $ trace_arg $ metrics_arg $ check_arg $ store_arg
+      $ no_store_arg)
 
 let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
     (fun pool seed -> E.print_e1 fmt (E.run_e1 ~pool ~seed ()))
@@ -195,13 +251,149 @@ let degrade =
 let all = campaign "all" "Run the whole evaluation in paper order"
     (fun pool seed quick -> E.run_all ~pool ~seed ~quick fmt)
 
+(* Print the code fingerprint mixed into every store key, so a user can
+   explain why a rebuilt binary misses a warmed store: the first stdout
+   line is the bare hex (script-friendly); provenance goes to stderr. *)
+let fingerprint =
+  let doc =
+    "Print the code fingerprint (digest of this executable) that every \
+     result-store key includes; records written by another build never \
+     resolve, they just miss."
+  in
+  let run () =
+    print_endline (Fingerprint.hex ());
+    List.iter
+      (fun (k, v) ->
+        if k <> "fingerprint" then Printf.eprintf "%s: %s\n" k v)
+      (Fingerprint.describe ())
+  in
+  Cmd.v (Cmd.info "fingerprint" ~doc) Term.(const run $ const ())
+
+(* The incremental campaign orchestrator: a declared (experiments x seeds)
+   sweep. Every trial goes through the result store when one is installed,
+   so re-running a killed campaign only executes the missing trials. *)
+let campaign_experiments : (string * (Runner.t -> int -> bool -> unit)) list =
+  [
+    ("e1", fun pool seed _ -> E.print_e1 fmt (E.run_e1 ~pool ~seed ()));
+    ("table1", fun pool seed _ -> E.print_table1 fmt (E.run_table1 ~pool ~seed ()));
+    ("e3", fun pool seed _ -> E.print_e3 fmt (E.run_e3 ~pool ~seed ()));
+    ( "uprober",
+      fun pool seed quick ->
+        E.print_uprober fmt
+          (E.run_uprober ~pool ~seed ~trials:(if quick then 6 else 20) ()) );
+    ( "table2",
+      fun pool seed quick ->
+        E.print_table2 fmt
+          (E.run_table2 ~pool ~seed ~rounds:(if quick then 15 else 50) ()) );
+    ( "e6",
+      fun pool seed quick ->
+        E.print_e6 fmt
+          (E.run_e6 ~pool ~seed ~rounds:(if quick then 15 else 50) ()) );
+    ( "evasion",
+      fun pool seed quick ->
+        E.print_e8 fmt
+          (E.run_e8 ~pool ~seed ~duration_s:(if quick then 120 else 400) ()) );
+    ( "satin-detect",
+      fun _pool seed quick ->
+        E.print_e10 fmt
+          (E.run_e10 ~seed ~target_rounds:(if quick then 57 else 190) ()) );
+    ( "fig7",
+      fun pool seed quick ->
+        E.print_fig7 fmt
+          (E.run_fig7 ~pool ~seed ~window_s:(if quick then 8 else 30) ()) );
+    ( "ablation",
+      fun pool seed quick ->
+        E.print_ablation fmt
+          (E.run_ablation ~pool ~seed ~passes:(if quick then 1 else 3) ()) );
+    ( "dkom",
+      fun _pool seed quick ->
+        E.print_e13 fmt (E.run_e13 ~seed ~checks:(if quick then 10 else 30) ()) );
+    ( "cache-channel",
+      fun _pool seed quick ->
+        E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ()) );
+    ( "sweep",
+      fun pool seed quick ->
+        E.print_tgoal_sweep fmt
+          (E.run_tgoal_sweep ~pool ~seed ~trials:(if quick then 2 else 4) ()) );
+    ( "inject",
+      fun pool seed quick ->
+        E.print_inject fmt
+          (E.run_inject ~pool ~seed
+             ~trials:(if quick then 2 else 4)
+             ~window_s:(if quick then 25 else 30)
+             ()) );
+    ( "degrade",
+      fun pool seed quick ->
+        E.print_degrade fmt
+          (E.run_degrade ~pool ~seed
+             ~trials:(if quick then 2 else 4)
+             ~window_s:(if quick then 25 else 30)
+             ()) );
+  ]
+
+let campaign_cmd =
+  let doc =
+    "Run a declared parameter sweep (experiments x seeds) incrementally. \
+     With --store, completed trials persist as they finish, so re-running \
+     an interrupted campaign executes only the missing trials and a fully \
+     warmed campaign recomputes nothing."
+  in
+  let experiments_arg =
+    let doc =
+      "Comma-separated experiments to run, in order. Defaults to every \
+       seeded experiment."
+    in
+    Arg.(
+      value
+      & opt (list string) (List.map fst campaign_experiments)
+      & info [ "experiments"; "e" ] ~docv:"NAMES" ~doc)
+  in
+  let seeds_arg =
+    let doc = "Comma-separated PRNG seeds; the sweep runs every experiment at every seed." in
+    Arg.(value & opt (list int) [ 42 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+  in
+  let run experiments seeds quick jobs trace metrics check store no_store =
+    (match
+       List.filter
+         (fun n -> not (List.mem_assoc n campaign_experiments))
+         experiments
+     with
+    | [] -> ()
+    | unknown ->
+        Printf.eprintf "campaign: unknown experiment(s) %s; valid: %s\n"
+          (String.concat ", " unknown)
+          (String.concat ", " (List.map fst campaign_experiments));
+        exit 2);
+    if seeds = [] then begin
+      prerr_endline "campaign: --seeds must name at least one seed";
+      exit 2
+    end;
+    let pool = Runner.create ~jobs () in
+    with_check check (fun () ->
+        with_store store no_store (fun () ->
+            with_obs trace metrics (fun () ->
+                List.iter
+                  (fun seed ->
+                    List.iter
+                      (fun name ->
+                        Format.fprintf fmt "==== campaign: %s seed=%d ====@."
+                          name seed;
+                        (List.assoc name campaign_experiments) pool seed quick)
+                      experiments)
+                  seeds)))
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ experiments_arg $ seeds_arg $ quick_arg $ jobs_arg
+      $ trace_arg $ metrics_arg $ check_arg $ store_arg $ no_store_arg)
+
 let main =
   let doc = "SATIN (DSN 2019) reproduction: experiments on the simulated Juno r1" in
-  Cmd.group (Cmd.info "satin_cli" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "satin_cli" ~version:"1.1.0" ~doc)
     [
       e1; table1; e3; uprober; table2; fig4; e6; race; timeline; evasion;
       areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; inject;
-      degrade; all;
+      degrade; all; fingerprint; campaign_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -20,6 +20,7 @@ module Evader = Satin_attack.Evader
 module Unixbench = Satin_workload.Unixbench
 module Runner = Satin_runner.Runner
 module Obs = Satin_obs.Obs
+module Memo = Satin_store.Memo
 
 let sec = Sim_time.to_sec_f
 
@@ -27,6 +28,14 @@ let sec = Sim_time.to_sec_f
    seeded [s] always runs from [Prng.derive s i], whatever domain executes
    it, so jobs=1 and jobs=N produce byte-identical reports. *)
 let derive = Prng.derive
+
+(* Every fan-out below goes through [Memo.map]: with no store installed it
+   is exactly [Runner.map]; with one, resolved trials are served from disk
+   and only misses hit the pool. The [~config] list must name every runtime
+   parameter the trial body reads besides (seed, trial_index) — that list,
+   canonically encoded, is what keeps two differently-parameterized trials
+   from colliding in the store. *)
+let keyf = Satin_store.Key.f
 
 (* ------------------------------------------------------------------ *)
 (* E1 — world-switch latency                                           *)
@@ -48,7 +57,12 @@ let e1_trial ~seed ~runs ~trial_index =
   stats
 
 let run_e1 ?(pool = Runner.sequential) ?(seed = 42) ?(runs = 50) () =
-  match Runner.map pool 2 (fun i -> e1_trial ~seed ~runs ~trial_index:i) with
+  match
+    Memo.map pool ~experiment:"e1" ~seed
+      ~config:[ ("runs", string_of_int runs) ]
+      2
+      (fun i -> e1_trial ~seed ~runs ~trial_index:i)
+  with
   | [| a53; a57 |] -> { e1_a53 = a53; e1_a57 = a57; e1_runs = runs }
   | _ -> assert false
 
@@ -102,7 +116,10 @@ let table1_trial ~seed ~runs ~trial_index =
 
 let run_table1 ?(pool = Runner.sequential) ?(seed = 42) ?(runs = 50) () =
   let rows =
-    Runner.map pool 2 (fun i -> table1_trial ~seed ~runs ~trial_index:i)
+    Memo.map pool ~experiment:"table1" ~seed
+      ~config:[ ("runs", string_of_int runs) ]
+      2
+      (fun i -> table1_trial ~seed ~runs ~trial_index:i)
   in
   (* Functional check: a real hash over the installed image matches its
      enrolled value on a quiescent system. *)
@@ -171,7 +188,12 @@ let e3_trial ~seed ~runs ~trial_index =
   else measure_recovery ~seed:(seed + 1) ~runs ~cleanup_core:4
 
 let run_e3 ?(pool = Runner.sequential) ?(seed = 42) ?(runs = 50) () =
-  match Runner.map pool 2 (fun i -> e3_trial ~seed ~runs ~trial_index:i) with
+  match
+    Memo.map pool ~experiment:"e3" ~seed
+      ~config:[ ("runs", string_of_int runs) ]
+      2
+      (fun i -> e3_trial ~seed ~runs ~trial_index:i)
+  with
   | [| a53; a57 |] -> { e3_a53 = a53; e3_a57 = a57 }
   | _ -> assert false
 
@@ -274,8 +296,11 @@ let uprober_trial ~seed ~trial_index =
   result
 
 let run_uprober ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 20) () =
+  (* No [~config]: a trial depends on (seed, trial_index) alone, so a
+     20-trial campaign resumes the records of an earlier 6-trial one. *)
   let results =
-    Runner.map pool trials (fun i -> uprober_trial ~seed ~trial_index:i)
+    Memo.map pool ~experiment:"uprober" ~seed trials (fun i ->
+        uprober_trial ~seed ~trial_index:i)
   in
   let delays = Stats.create () in
   let detected = ref 0 in
@@ -375,8 +400,11 @@ let run_table2 ?(pool = Runner.sequential) ?(seed = 42) ?(rounds = 50)
     ?(periods_s = default_periods) () =
   let periods = Array.of_list periods_s in
   let rows =
-    Runner.map pool (Array.length periods) (fun i ->
-        table2_trial ~seed ~rounds ~periods ~trial_index:i)
+    Memo.map pool ~experiment:"table2" ~seed
+      ~config:[ ("rounds", string_of_int rounds) ]
+      ~trial_config:(fun i -> [ ("period_s", keyf periods.(i)) ])
+      (Array.length periods)
+      (fun i -> table2_trial ~seed ~rounds ~periods ~trial_index:i)
   in
   { t2_rows = Array.to_list rows; t2_rounds = rounds }
 
@@ -433,7 +461,12 @@ let e6_trial ~seed ~rounds ~trial_index =
   else measure_thresholds ~seed:(seed + 1) ~rounds ~period ~watched:[ 0; 1 ]
 
 let run_e6 ?(pool = Runner.sequential) ?(seed = 42) ?(rounds = 50) () =
-  match Runner.map pool 2 (fun i -> e6_trial ~seed ~rounds ~trial_index:i) with
+  match
+    Memo.map pool ~experiment:"e6" ~seed
+      ~config:[ ("rounds", string_of_int rounds) ]
+      2
+      (fun i -> e6_trial ~seed ~rounds ~trial_index:i)
+  with
   | [| all; single |] ->
       let e6_all_avg = Stats.mean all and e6_single_avg = Stats.mean single in
       { e6_all_avg; e6_single_avg; e6_ratio = e6_single_avg /. e6_all_avg }
@@ -551,7 +584,10 @@ let e8_trial ~seed ~duration_s ~trial_index =
 
 let run_e8 ?(pool = Runner.sequential) ?(seed = 42) ?(duration_s = 400) () =
   match
-    Runner.map pool 2 (fun i -> e8_trial ~seed ~duration_s ~trial_index:i)
+    Memo.map pool ~experiment:"e8" ~seed
+      ~config:[ ("duration_s", string_of_int duration_s) ]
+      2
+      (fun i -> e8_trial ~seed ~duration_s ~trial_index:i)
   with
   | [| deep; shallow |] -> { e8_deep = deep; e8_shallow = shallow }
   | _ -> assert false
@@ -647,7 +683,17 @@ type e10_result = {
   e10_evasions_succeeded : int;
 }
 
-let run_e10 ?(seed = 42) ?(target_rounds = 190) ?(probe_period_us = 500) () =
+(* The three single-scenario campaigns below (E10, E13, E14) have no trial
+   fan-out to intercept, so each whole campaign is memoized as a one-trial
+   batch on the sequential pool: same store key discipline, one record. *)
+let memo_campaign ~experiment ~seed ~config body =
+  match
+    Memo.map Runner.sequential ~experiment ~seed ~config 1 (fun _ -> body ())
+  with
+  | [| r |] -> r
+  | _ -> assert false
+
+let run_e10_campaign ~seed ~target_rounds ~probe_period_us () =
   let scenario = Scenario.create ~seed () in
   let satin = Scenario.install_satin scenario () in
   let evader =
@@ -752,6 +798,15 @@ let run_e10 ?(seed = 42) ?(target_rounds = 190) ?(probe_period_us = 500) () =
     e10_evasions_succeeded = List.length area14 - List.length area14_detected;
   }
 
+let run_e10 ?(seed = 42) ?(target_rounds = 190) ?(probe_period_us = 500) () =
+  memo_campaign ~experiment:"e10" ~seed
+    ~config:
+      [
+        ("target_rounds", string_of_int target_rounds);
+        ("probe_period_us", string_of_int probe_period_us);
+      ]
+    (run_e10_campaign ~seed ~target_rounds ~probe_period_us)
+
 let print_e10 fmt r =
   Format.fprintf fmt "%s"
     (Report.section "E10: SATIN vs TZ-Evader detection campaign (Sec VI-B1)");
@@ -822,7 +877,14 @@ let fig7_trial ~seed ~window_s ~trial_index =
 let run_fig7 ?(pool = Runner.sequential) ?(seed = 42) ?(window_s = 30) () =
   let programs = Array.of_list Unixbench.programs in
   let scores =
-    Runner.map pool
+    Memo.map pool ~experiment:"fig7" ~seed
+      ~config:[ ("window_s", string_of_int window_s) ]
+      ~trial_config:(fun i ->
+        [
+          ("program", programs.(i / 4).Unixbench.prog_name);
+          ("copies", if i / 2 mod 2 = 0 then "1" else "6");
+          ("satin", if i mod 2 = 1 then "1" else "0");
+        ])
       (4 * Array.length programs)
       (fun i -> fig7_trial ~seed ~window_s ~trial_index:i)
   in
@@ -1020,7 +1082,10 @@ let ablation_trial ~seed ~passes ~trial_index =
 
 let run_ablation ?(pool = Runner.sequential) ?(seed = 42) ?(passes = 3) () =
   let rows =
-    Runner.map pool 4 (fun i -> ablation_trial ~seed ~passes ~trial_index:i)
+    Memo.map pool ~experiment:"ablation" ~seed
+      ~config:[ ("passes", string_of_int passes) ]
+      4
+      (fun i -> ablation_trial ~seed ~passes ~trial_index:i)
   in
   { ab_rows = Array.to_list rows }
 
@@ -1052,7 +1117,7 @@ type e13_result = {
   e13_hidden_fraction : float;
 }
 
-let run_e13 ?(seed = 42) ?(checks = 30) () =
+let run_e13_campaign ~seed ~checks () =
   let scenario = Scenario.create ~seed () in
   let platform = scenario.Scenario.platform in
   let engine = Scenario.engine scenario in
@@ -1119,6 +1184,11 @@ let run_e13 ?(seed = 42) ?(checks = 30) () =
        else float_of_int !hidden_samples /. float_of_int !samples);
   }
 
+let run_e13 ?(seed = 42) ?(checks = 30) () =
+  memo_campaign ~experiment:"e13" ~seed
+    ~config:[ ("checks", string_of_int checks) ]
+    (run_e13_campaign ~seed ~checks)
+
 let print_e13 fmt r =
   Format.fprintf fmt "%s"
     (Report.section
@@ -1154,7 +1224,7 @@ type e14_result = {
   e14_uptime_fraction : float;
 }
 
-let run_e14 ?(seed = 42) ?(passes = 3) () =
+let run_e14_campaign ~seed ~passes () =
   let scenario = Scenario.create ~seed () in
   let t_goal = Sim_time.s 76 in
   let satin =
@@ -1242,6 +1312,11 @@ let run_e14 ?(seed = 42) ?(passes = 3) () =
     e14_wasted_hides = !wasted;
     e14_uptime_fraction = sec (Rootkit.attack_uptime rootkit) /. sec span;
   }
+
+let run_e14 ?(seed = 42) ?(passes = 3) () =
+  memo_campaign ~experiment:"e14" ~seed
+    ~config:[ ("passes", string_of_int passes) ]
+    (run_e14_campaign ~seed ~passes)
 
 let print_e14 fmt r =
   Format.fprintf fmt "%s"
@@ -1341,12 +1416,23 @@ let run_tgoal_sweep ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 4)
   let tps = Array.of_list tps_s in
   let ntps = Array.length tps in
   let latencies =
-    Runner.map pool (ntps * trials) (fun i ->
-        sweep_latency_trial ~seed ~trials ~tps ~trial_index:i)
+    (* [trials] shapes the seed derivation inside the body, so it is part
+       of the key alongside the trial's own cadence. *)
+    Memo.map pool ~experiment:"sweep-latency" ~seed
+      ~config:[ ("trials", string_of_int trials) ]
+      ~trial_config:(fun i -> [ ("tp_s", keyf tps.(i / trials)) ])
+      (ntps * trials)
+      (fun i -> sweep_latency_trial ~seed ~trials ~tps ~trial_index:i)
   in
   let scores =
-    Runner.map pool (ntps * 2) (fun i ->
-        sweep_score_trial ~seed ~tps ~trial_index:i)
+    Memo.map pool ~experiment:"sweep-score" ~seed
+      ~trial_config:(fun i ->
+        [
+          ("tp_s", keyf tps.(i / 2));
+          ("satin", if i mod 2 = 1 then "1" else "0");
+        ])
+      (ntps * 2)
+      (fun i -> sweep_score_trial ~seed ~tps ~trial_index:i)
   in
   let rows =
     List.mapi
@@ -1481,8 +1567,15 @@ let collect_fault_rows ~trials results label plans =
 let run_inject ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 4)
     ?(window_s = 30) ?(plans = Fault_plan.catalogue) () =
   let plan_arr = Array.of_list plans in
+  (* The fault plan (with its severity parameters) is part of every trial's
+     key: a campaign under [Drop_timer_irqs] can never be served the clean
+     [Control] record of the same seed, or vice versa. *)
   let results =
-    Runner.map pool
+    Memo.map pool ~experiment:"inject" ~seed
+      ~config:
+        [ ("trials", string_of_int trials); ("window_s", string_of_int window_s) ]
+      ~trial_config:(fun i ->
+        [ ("plan", Fault_plan.to_string plan_arr.(i / trials)) ])
       (Array.length plan_arr * trials)
       (fun i -> inject_trial ~seed ~trials ~window_s ~plans:plan_arr ~trial_index:i)
   in
@@ -1539,7 +1632,16 @@ let run_degrade ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 4)
     ?(window_s = 30) ?(drop_probs = [ 0.0; 0.2; 0.4; 0.6 ]) () =
   let probs = Array.of_list drop_probs in
   let results =
-    Runner.map pool
+    Memo.map pool ~experiment:"degrade" ~seed
+      ~config:
+        [ ("trials", string_of_int trials); ("window_s", string_of_int window_s) ]
+      ~trial_config:(fun i ->
+        let prob = probs.(i / trials) in
+        let plan =
+          if prob <= 0.0 then Fault_plan.Control
+          else Fault_plan.Drop_timer_irqs { prob }
+        in
+        [ ("plan", Fault_plan.to_string plan) ])
       (Array.length probs * trials)
       (fun i -> degrade_trial ~seed ~trials ~window_s ~probs ~trial_index:i)
   in

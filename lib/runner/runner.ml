@@ -107,6 +107,28 @@ let map pool n f =
   record_metrics ~n ~wall executed;
   collect results
 
+let map_cached pool n ~lookup ?(on_computed = fun _ _ -> ()) f =
+  if n < 0 then invalid_arg "Runner.map_cached: negative batch size";
+  (* Resolution runs on the submitting domain, in index order, before any
+     dispatch — the resolved set (and therefore the miss set handed to the
+     pool) is independent of jobs width. *)
+  let resolved = Array.init n lookup in
+  let misses = ref [] in
+  for i = n - 1 downto 0 do
+    if resolved.(i) = None then misses := i :: !misses
+  done;
+  let misses = Array.of_list !misses in
+  Obs.incr "runner.trials_resolved" ~by:(n - Array.length misses);
+  let computed =
+    map pool (Array.length misses) (fun j ->
+        let i = misses.(j) in
+        let v = f i in
+        on_computed i v;
+        v)
+  in
+  Array.iteri (fun j i -> resolved.(i) <- Some computed.(j)) misses;
+  Array.map (function Some v -> v | None -> assert false) resolved
+
 let map_list pool items f =
   let arr = Array.of_list items in
   Array.to_list (map pool (Array.length arr) (fun i -> f arr.(i)))

@@ -1,0 +1,21 @@
+let override = ref None
+
+let computed =
+  lazy
+    (let exe = Sys.executable_name in
+     try Digest.to_hex (Digest.file exe)
+     with _ -> Digest.to_hex (Digest.string (exe ^ "\x00" ^ Sys.ocaml_version)))
+
+let hex () = match !override with Some h -> h | None -> Lazy.force computed
+
+let describe () =
+  let exe = Sys.executable_name in
+  let size =
+    try [ ("image_bytes", string_of_int (Unix.stat exe).Unix.st_size) ]
+    with _ -> []
+  in
+  [ ("fingerprint", hex ()); ("executable", exe) ]
+  @ size
+  @ [ ("ocaml", Sys.ocaml_version) ]
+
+let override_for_testing o = override := o

@@ -1,0 +1,25 @@
+(** Code fingerprint: the build-identity component of every store key.
+
+    Trial records are serialized with [Marshal], whose layout is only
+    guaranteed between identical binaries, and a trial's result can change
+    whenever any simulation code changes. Both hazards collapse into one
+    rule: a record may only ever be read back by the binary that wrote it.
+    The fingerprint enforces the rule structurally — it is the digest of
+    the running executable image, mixed into every {!Key}, so a rebuilt
+    binary computes different keys and simply misses instead of deserializing
+    foreign bytes. [satin_cli fingerprint] prints it so users can explain
+    cache misses across builds. *)
+
+val hex : unit -> string
+(** 32-char lowercase hex digest of the running executable. Computed once,
+    lazily. Falls back to a digest of the executable path and OCaml version
+    if the image cannot be read. *)
+
+val describe : unit -> (string * string) list
+(** Human-oriented provenance: the fingerprint plus what it was derived
+    from (executable path, image size when readable, OCaml version). *)
+
+val override_for_testing : string option -> unit
+(** Replace ([Some h]) or restore ([None]) the fingerprint. Tests use this
+    to prove that keys derived under different fingerprints never collide;
+    production code must not call it. *)

@@ -1,0 +1,56 @@
+type config = (string * string) list
+
+let f x = Printf.sprintf "%.17g" x
+
+(* Escape so that field/value boundaries ('=', '\n') survive arbitrary
+   bytes in either component. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '=' -> Buffer.add_string buf "\\e"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render buf prefix pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) pairs in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg ("Store key: duplicate config field " ^ a);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf prefix;
+      Buffer.add_string buf (escape k);
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (escape v);
+      Buffer.add_char buf '\n')
+    sorted
+
+let canonical pairs =
+  let buf = Buffer.create 128 in
+  render buf "cfg:" pairs;
+  Buffer.contents buf
+
+let ambient_ctx = ref []
+let set_ambient ctx = ambient_ctx := ctx
+let ambient () = !ambient_ctx
+
+let make ~experiment ~seed ~trial_index ?(config = []) () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "satin-store/v1\n";
+  Buffer.add_string buf ("fp=" ^ Fingerprint.hex () ^ "\n");
+  Buffer.add_string buf ("exp=" ^ escape experiment ^ "\n");
+  Buffer.add_string buf ("seed=" ^ string_of_int seed ^ "\n");
+  Buffer.add_string buf ("trial=" ^ string_of_int trial_index ^ "\n");
+  render buf "ctx:" !ambient_ctx;
+  render buf "cfg:" config;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

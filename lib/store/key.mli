@@ -1,0 +1,44 @@
+(** Content-addressed keys for trial results.
+
+    A key digests everything a trial's result can depend on:
+
+    - the {e experiment id} (["e1"], ["table2"], ...);
+    - the {e canonical config encoding} — the runtime parameters of the
+      trial body (runs, rounds, probing period, fault plan, ...) as a
+      field/value list, sorted by field name so the digest is independent
+      of construction order;
+    - the experiment {e seed} and {e trial index} (the derivation inputs of
+      the trial's PRNG);
+    - the {e code fingerprint} ({!Fingerprint.hex}), so records never
+      survive a rebuild;
+    - the {e ambient context} — process-wide execution modes that are not
+      per-experiment parameters but still shape results or their meaning.
+      The CLI sets [("check", "1")] under [--check]: a sanitized run served
+      entirely from a clean run's cache would silently skip the sanitizer,
+      so check-mode trials must never collide with clean ones. Fault plans
+      take the other route and live in the per-trial config (see
+      {!Satin.Experiment.run_inject}), which equally keeps a faulted trial
+      from colliding with the clean trial of the same seed. *)
+
+type config = (string * string) list
+(** Field/value pairs. Field names must be unique; both components may
+    contain any bytes (the canonical encoding escapes them). *)
+
+val f : float -> string
+(** Canonical float rendering (round-trip exact), for config values. *)
+
+val canonical : config -> string
+(** The canonical encoding: fields sorted by name, each rendered as an
+    escaped [name=value] line. Two configs listing the same fields in any
+    order encode identically. Raises [Invalid_argument] on a duplicate
+    field name. *)
+
+val set_ambient : config -> unit
+(** Replace the ambient context mixed into every subsequent key. *)
+
+val ambient : unit -> config
+
+val make :
+  experiment:string -> seed:int -> trial_index:int -> ?config:config ->
+  unit -> string
+(** The 32-char lowercase hex key of one trial. *)

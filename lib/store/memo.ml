@@ -1,0 +1,55 @@
+module Runner = Satin_runner.Runner
+module Obs = Satin_obs.Obs
+module Json = Satin_obs.Json
+module Sim_time = Satin_engine.Sim_time
+
+let store_track = 63
+
+(* Lane position for cache spans: simulated time is meaningless for host-
+   side lookups, so spans occupy successive microsecond slots of their own
+   track — a compact hit/miss strip under the simulation lanes. *)
+let span_slot = ref 0
+
+let lookup_span ~experiment ~trial ~key outcome =
+  if Obs.enabled () then begin
+    Obs.name_track store_track "result store";
+    let t0 = Sim_time.us !span_slot in
+    incr span_slot;
+    Obs.span_begin ~time:t0 ~track:store_track ~cat:"store"
+      ~args:
+        [
+          ("experiment", Json.String experiment);
+          ("trial", Json.Int trial);
+          ("key", Json.String key);
+        ]
+      ("store." ^ outcome);
+    Obs.span_end ~time:(Sim_time.us !span_slot) ~track:store_track
+  end
+
+let map pool ~experiment ~seed ?(config = []) ?trial_config n f =
+  match Store.current () with
+  | None -> Runner.map pool n f
+  | Some store ->
+      let key_of i =
+        let config =
+          match trial_config with None -> config | Some g -> config @ g i
+        in
+        Key.make ~experiment ~seed ~trial_index:i ~config ()
+      in
+      let keys = Array.init n key_of in
+      Runner.map_cached pool n
+        ~lookup:(fun i ->
+          let r = Store.find store ~key:keys.(i) in
+          lookup_span ~experiment ~trial:i ~key:keys.(i)
+            (match r with Some _ -> "hit" | None -> "miss");
+          r)
+        ~on_computed:(fun i v ->
+          (* A failing write must not poison the trial that just computed
+             its result — count it and move on. *)
+          try Store.add store ~key:keys.(i) ~experiment v
+          with e ->
+            Obs.incr "store.write_errors";
+            Logs.warn (fun m ->
+                m "store: failed to persist %s: %s" keys.(i)
+                  (Printexc.to_string e)))
+        f

@@ -1,0 +1,38 @@
+(** Cache-aware trial fan-out: {!Satin_runner.Runner.map_cached} wired to
+    the ambient {!Store}.
+
+    [map pool ~experiment ~seed ?config ?trial_config n f] is
+    observationally [Runner.map pool n f] — same results, same submission
+    order, same lowest-index failure — but when a store is installed
+    ({!Store.install}), each trial [i] is first looked up under
+    [Key.make ~experiment ~seed ~trial_index:i ~config:(config @
+    trial_config i)]; only the misses are dispatched to the Domain pool,
+    and each miss is persisted the moment its trial body returns (on
+    whichever domain ran it), so an interrupted campaign resumes from the
+    completed trials. Results are byte-identical at any pool width, warm
+    or cold: hits deserialize to exactly the bytes the trial body produced
+    (binary-pinned by the key's fingerprint), and misses run the unchanged
+    body.
+
+    When a tracing sink is installed, every lookup emits a span on the
+    dedicated store track ([store.hit]/[store.miss], with the experiment,
+    trial index, and key as args) — the cache's contribution to a trial
+    is visible in the Perfetto export next to the simulation lanes. *)
+
+module Runner = Satin_runner.Runner
+
+val store_track : int
+(** Trace track carrying the per-trial cache spans. *)
+
+val map :
+  Runner.t ->
+  experiment:string ->
+  seed:int ->
+  ?config:Key.config ->
+  ?trial_config:(int -> Key.config) ->
+  int ->
+  (int -> 'a) ->
+  'a array
+(** [config] holds parameters shared by the whole fan-out, [trial_config]
+    the per-trial ones (probing period, fault plan, ...). With no ambient
+    store this is exactly [Runner.map]. *)

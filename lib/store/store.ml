@@ -1,0 +1,246 @@
+module Obs = Satin_obs.Obs
+
+let src = Logs.Src.create "satin.store" ~doc:"trial result store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type counters = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt : int;
+}
+
+type t = {
+  dir : string;
+  max_bytes : int;
+  mutex : Mutex.t;
+  live : (string, int) Hashtbl.t; (* key -> record size, bytes *)
+  order : string Queue.t; (* insertion order; may hold stale keys *)
+  mutable total_bytes : int;
+  mutable index : out_channel;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+let dir t = t.dir
+
+let is_hex_key k =
+  String.length k = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) k
+
+let object_path t key =
+  Filename.concat t.dir
+    (Filename.concat "objects"
+       (Filename.concat (String.sub key 0 2)
+          (Filename.concat (String.sub key 2 2) (key ^ ".rec"))))
+
+let quarantine_path t key =
+  Filename.concat t.dir (Filename.concat "quarantine" (key ^ ".rec"))
+
+let index_path dir = Filename.concat dir "index.log"
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* One journal line per event:
+     + <key> <size> <experiment>      record added
+     - <key>                          record evicted
+     ! <key>                          record quarantined
+   The experiment id is informational (diagnostics, future GC policies);
+   it is the last field so embedded spaces need no escaping. *)
+let index_line_add key size experiment =
+  Printf.sprintf "+ %s %d %s\n" key size
+    (String.map (fun c -> if c = '\n' then ' ' else c) experiment)
+
+let replay_index t =
+  let path = index_path t.dir in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let l = input_line ic in
+            match String.split_on_char ' ' l with
+            | "+" :: key :: size :: _ when is_hex_key key -> (
+                match int_of_string_opt size with
+                | Some size when Sys.file_exists (object_path t key) ->
+                    if not (Hashtbl.mem t.live key) then begin
+                      Hashtbl.replace t.live key size;
+                      Queue.push key t.order;
+                      t.total_bytes <- t.total_bytes + size
+                    end
+                | _ -> ())
+            | ("-" | "!") :: key :: _ -> (
+                match Hashtbl.find_opt t.live key with
+                | Some size ->
+                    Hashtbl.remove t.live key;
+                    t.total_bytes <- t.total_bytes - size
+                | None -> ())
+            | _ -> () (* tolerate torn trailing writes *)
+          done
+        with End_of_file -> ())
+  end
+
+let open_ ?(max_bytes = 512 * 1024 * 1024) dir =
+  if max_bytes <= 0 then invalid_arg "Store.open_: max_bytes must be positive";
+  mkdir_p (Filename.concat dir "objects");
+  mkdir_p (Filename.concat dir "quarantine");
+  let t =
+    {
+      dir;
+      max_bytes;
+      mutex = Mutex.create ();
+      live = Hashtbl.create 256;
+      order = Queue.create ();
+      total_bytes = 0;
+      index = stdout (* replaced below *);
+      hits = 0;
+      misses = 0;
+      writes = 0;
+      evictions = 0;
+      corrupt = 0;
+    }
+  in
+  replay_index t;
+  t.index <-
+    open_out_gen [ Open_append; Open_creat ] 0o644 (index_path dir);
+  t
+
+let append_index t line =
+  output_string t.index line;
+  flush t.index
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publication: write next to the final path, rename over it. The
+   temp name carries pid + key, so concurrent stores never collide and a
+   crash leaves only a harmless .tmp the next GC ignores. *)
+let write_file_atomic path content =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let drop_live t key =
+  match Hashtbl.find_opt t.live key with
+  | Some size ->
+      Hashtbl.remove t.live key;
+      t.total_bytes <- t.total_bytes - size
+  | None -> ()
+
+let quarantine t key err =
+  let path = object_path t key in
+  (try Sys.rename path (quarantine_path t key)
+   with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ()));
+  drop_live t key;
+  append_index t (Printf.sprintf "! %s\n" key);
+  t.corrupt <- t.corrupt + 1;
+  Obs.incr "store.corrupt";
+  Log.warn (fun m ->
+      m "quarantined record %s: %s" key (Codec.error_to_string err))
+
+let find t ~key =
+  Mutex.protect t.mutex (fun () ->
+      let miss () =
+        t.misses <- t.misses + 1;
+        Obs.incr "store.misses";
+        None
+      in
+      if not (Hashtbl.mem t.live key) then miss ()
+      else
+        match read_file (object_path t key) with
+        | exception Sys_error _ ->
+            (* Journal said live but the file is gone (external deletion);
+               settle the books and recompute. *)
+            drop_live t key;
+            append_index t (Printf.sprintf "- %s\n" key);
+            miss ()
+        | raw -> (
+            match Codec.decode raw with
+            | Ok v ->
+                t.hits <- t.hits + 1;
+                Obs.incr "store.hits";
+                Some v
+            | Error err ->
+                quarantine t key err;
+                miss ()))
+
+(* Caller holds the mutex. Evict oldest-first until under the bound; the
+   queue may hold keys already evicted or quarantined — skip those. The
+   most recent record survives even when it alone exceeds the bound. *)
+let enforce_bound t =
+  while
+    t.total_bytes > t.max_bytes
+    && Queue.length t.order > 0
+    && not (Queue.length t.order = 1 && Hashtbl.mem t.live (Queue.peek t.order))
+  do
+    let key = Queue.pop t.order in
+    if Hashtbl.mem t.live key then begin
+      drop_live t key;
+      (try Sys.remove (object_path t key) with Sys_error _ -> ());
+      append_index t (Printf.sprintf "- %s\n" key);
+      t.evictions <- t.evictions + 1;
+      Obs.incr "store.evictions"
+    end
+  done
+
+let add t ~key ~experiment v =
+  if not (is_hex_key key) then invalid_arg "Store.add: malformed key";
+  let record = Codec.encode ~experiment v in
+  Mutex.protect t.mutex (fun () ->
+      let path = object_path t key in
+      mkdir_p (Filename.dirname path);
+      write_file_atomic path record;
+      if not (Hashtbl.mem t.live key) then begin
+        let size = String.length record in
+        Hashtbl.replace t.live key size;
+        Queue.push key t.order;
+        t.total_bytes <- t.total_bytes + size;
+        append_index t (index_line_add key size experiment)
+      end;
+      t.writes <- t.writes + 1;
+      Obs.incr "store.writes";
+      enforce_bound t)
+
+let counters t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        writes = t.writes;
+        evictions = t.evictions;
+        corrupt = t.corrupt;
+      })
+
+let live_records t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.live)
+let live_bytes t = Mutex.protect t.mutex (fun () -> t.total_bytes)
+
+let summary_line t =
+  let c = counters t in
+  Printf.sprintf
+    "store: %d hit(s), %d miss(es), %d write(s), %d evicted, %d corrupt; %d \
+     record(s), %d bytes live (%s)"
+    c.hits c.misses c.writes c.evictions c.corrupt (live_records t)
+    (live_bytes t) t.dir
+
+let ambient = ref None
+let install t = ambient := Some t
+let uninstall () = ambient := None
+let current () = !ambient

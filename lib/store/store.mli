@@ -1,0 +1,80 @@
+(** Content-addressed, on-disk trial-result store.
+
+    Layout under the store directory:
+
+    {v
+    objects/ab/cd/<32-hex-key>.rec   records, two-level fan-out
+    quarantine/<32-hex-key>.rec      records that failed verification
+    index.log                        append-only journal of adds/evictions
+    v}
+
+    Records are {!Codec} [satin-store/v1] bytes, written atomically
+    (temp file + rename), one file per {!Key}. The index journal is the
+    insertion-order ground truth: each add appends a [+] line, each
+    eviction a [-] line, each quarantine a [!] line, so a store killed
+    mid-campaign replays to exactly the records that finished — the basis
+    of resume-after-interrupt. Entries whose files have vanished are
+    dropped on replay.
+
+    {!find} verifies every record before serving it; a record failing
+    magic/version/length/checksum is moved to [quarantine/] (never served,
+    never silently deleted) and the lookup reports a miss, so one flipped
+    bit costs one recomputation. {!add} enforces the size bound by evicting
+    the oldest records first (the newest record is always retained, so the
+    bound is best-effort when a single record exceeds it).
+
+    All operations are serialized on an internal mutex: worker domains may
+    {!add} concurrently while the submitting domain looks up. Counters for
+    hits/misses/writes/evictions/corruptions are kept locally (for
+    {!summary_line}) and mirrored to {!Satin_obs.Obs} as [store.*] metrics
+    when a sink is installed.
+
+    One store can be made ambient with {!install} — the same pattern as the
+    {!Satin_obs.Obs} sink: experiments are assembled deep inside runners,
+    and "the store of the current run" is process-wide by nature. *)
+
+type t
+
+val open_ : ?max_bytes:int -> string -> t
+(** Open (creating directories as needed) the store rooted at the given
+    directory and replay its index. [max_bytes] bounds the total size of
+    live records (default 512 MiB). Raises [Sys_error]/[Unix.Unix_error]
+    if the directory cannot be created. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> 'a option
+(** Serve the record stored under [key], verifying it first. [None] on
+    absence or on a quarantined record. The caller asserts the result type,
+    which holds whenever [key] came from {!Key.make} (the fingerprint pins
+    the binary). *)
+
+val add : t -> key:string -> experiment:string -> 'a -> unit
+(** Persist one trial result (atomic write + index append), then enforce
+    the size bound. Overwrites any existing record under [key] (necessarily
+    with identical content). Safe to call from worker domains. *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt : int;
+}
+
+val counters : t -> counters
+(** Snapshot of this handle's lifetime counters. *)
+
+val live_records : t -> int
+val live_bytes : t -> int
+
+val summary_line : t -> string
+(** One-line human summary ([store: H hits, M misses, ... (DIR)]) printed
+    by the CLI and bench to stderr — stderr so stdout reports stay
+    byte-identical between warm and cold runs. *)
+
+(** {1 The ambient store} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val current : unit -> t option

@@ -1,0 +1,326 @@
+module Key = Satin_store.Key
+module Codec = Satin_store.Codec
+module Store = Satin_store.Store
+module Memo = Satin_store.Memo
+module Fingerprint = Satin_store.Fingerprint
+module Runner = Satin_runner.Runner
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "satin_store_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (match Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) with
+    | 0 -> ()
+    | _ -> ());
+    dir
+
+(* ---- codec ---- *)
+
+(* Arbitrary pure-data payloads: the codec must round-trip anything the
+   experiment summaries are built from. *)
+let payload_arb =
+  QCheck.(
+    pair string (pair (list (pair small_int float)) (array small_string)))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec round-trips any pure payload"
+    QCheck.(pair string payload_arb)
+    (fun (experiment, payload) ->
+      let bytes = Codec.encode ~experiment payload in
+      match Codec.decode bytes with
+      | Ok v -> v = payload
+      | Error e -> QCheck.Test.fail_reportf "decode: %s" (Codec.error_to_string e))
+
+let prop_codec_detects_flip =
+  (* Flipping any single bit of the record must yield an error, never a
+     silently different payload. (Flips inside the header may surface as
+     any header error; flips in the payload must be Bad_checksum.) *)
+  QCheck.Test.make ~name:"codec rejects any single-bit flip"
+    QCheck.(pair payload_arb (pair small_nat (int_bound 7)))
+    (fun (payload, (pos, bit)) ->
+      let bytes = Bytes.of_string (Codec.encode ~experiment:"flip" payload) in
+      let pos = pos mod Bytes.length bytes in
+      Bytes.set bytes pos
+        (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl bit)));
+      match Codec.decode (Bytes.to_string bytes) with
+      | Error _ -> true
+      | Ok v ->
+          (* The only acceptable Ok is the flip landing in the stored
+             checksum's hex case or similar being impossible: require the
+             payload to come back exact, else fail. *)
+          if v = payload then
+            QCheck.Test.fail_reportf
+              "flip at byte %d bit %d was absorbed silently" pos bit
+          else
+            QCheck.Test.fail_reportf "flip at byte %d bit %d decoded Ok" pos
+              bit)
+
+let test_codec_errors () =
+  let record = Codec.encode ~experiment:"e1" (1, 2.0) in
+  (match (Codec.decode "not a record" : (unit, _) result) with
+  | Error Codec.Bad_magic -> ()
+  | _ -> Alcotest.fail "junk accepted");
+  (match
+     (Codec.decode
+        (Printf.sprintf "satin-store/v9\ne1\n%s\n4\nabcd" (String.make 32 '0'))
+       : (unit, _) result)
+   with
+  | Error (Codec.Bad_version v) ->
+      Alcotest.(check string) "foreign version reported" "satin-store/v9" v
+  | _ -> Alcotest.fail "foreign version accepted");
+  (match
+     (Codec.decode (String.sub record 0 (String.length record - 3))
+       : (unit, _) result)
+   with
+  | Error (Codec.Truncated | Codec.Bad_checksum) -> ()
+  | _ -> Alcotest.fail "truncated record accepted");
+  match Codec.experiment record with
+  | Ok e -> Alcotest.(check string) "header experiment" "e1" e
+  | Error e -> Alcotest.fail (Codec.error_to_string e)
+
+(* ---- keys ---- *)
+
+let test_key_field_order_independent () =
+  let a =
+    Key.make ~experiment:"table2" ~seed:42 ~trial_index:3
+      ~config:[ ("rounds", "50"); ("period_s", Key.f 0.5) ]
+      ()
+  in
+  let b =
+    Key.make ~experiment:"table2" ~seed:42 ~trial_index:3
+      ~config:[ ("period_s", Key.f 0.5); ("rounds", "50") ]
+      ()
+  in
+  Alcotest.(check string) "order-independent" a b;
+  Alcotest.(check string)
+    "canonical encodings equal"
+    (Key.canonical [ ("b", "2"); ("a", "1") ])
+    (Key.canonical [ ("a", "1"); ("b", "2") ])
+
+let test_key_sensitivity () =
+  let base ?(experiment = "e1") ?(seed = 42) ?(trial = 0)
+      ?(config = [ ("runs", "100") ]) () =
+    Key.make ~experiment ~seed ~trial_index:trial ~config ()
+  in
+  let k = base () in
+  Alcotest.(check bool) "seed matters" true (k <> base ~seed:43 ());
+  Alcotest.(check bool) "trial matters" true (k <> base ~trial:1 ());
+  Alcotest.(check bool)
+    "experiment matters" true
+    (k <> base ~experiment:"e3" ());
+  Alcotest.(check bool)
+    "config value matters" true
+    (k <> base ~config:[ ("runs", "101") ] ());
+  Alcotest.(check bool)
+    "config field matters" true
+    (k <> base ~config:[ ("runs", "100"); ("extra", "1") ] ());
+  (* Ambient context (the CLI's --check marker) must change every key. *)
+  Key.set_ambient [ ("check", "1") ];
+  let k_check = base () in
+  Key.set_ambient [];
+  Alcotest.(check bool) "ambient context matters" true (k <> k_check);
+  Alcotest.(check string) "ambient restored" k (base ());
+  (* A rebuilt binary (different fingerprint) must never share keys. *)
+  Fingerprint.override_for_testing (Some (String.make 32 'f'));
+  let k_other_build = base () in
+  Fingerprint.override_for_testing None;
+  Alcotest.(check bool) "fingerprint matters" true (k <> k_other_build);
+  Alcotest.(check string) "fingerprint restored" k (base ())
+
+let test_key_rejects_duplicate_fields () =
+  try
+    ignore (Key.canonical [ ("a", "1"); ("a", "2") ]);
+    Alcotest.fail "duplicate field accepted"
+  with Invalid_argument _ -> ()
+
+let test_key_escaping () =
+  (* Values containing the separator bytes must not be confusable with
+     differently-split fields. *)
+  let a = Key.canonical [ ("a", "1\nb=2") ] in
+  let b = Key.canonical [ ("a", "1"); ("b", "2") ] in
+  Alcotest.(check bool) "newline-in-value not confusable" true (a <> b)
+
+(* ---- store ---- *)
+
+let test_store_roundtrip_and_persistence () =
+  let dir = tmp_dir () in
+  let s = Store.open_ dir in
+  let key = Key.make ~experiment:"rt" ~seed:1 ~trial_index:0 () in
+  Alcotest.(check bool) "cold miss" true (Store.find s ~key = (None : int option));
+  Store.add s ~key ~experiment:"rt" 1234;
+  Alcotest.(check (option int)) "hit after add" (Some 1234) (Store.find s ~key);
+  (* A fresh handle on the same directory replays the index. *)
+  let s2 = Store.open_ dir in
+  Alcotest.(check (option int)) "hit after reopen" (Some 1234) (Store.find s2 ~key);
+  Alcotest.(check int) "one live record" 1 (Store.live_records s2);
+  let c = Store.counters s in
+  Alcotest.(check int) "hits counted" 1 c.Store.hits;
+  Alcotest.(check int) "misses counted" 1 c.Store.misses;
+  Alcotest.(check int) "writes counted" 1 c.Store.writes
+
+let find_record_file dir =
+  let rec walk acc p =
+    if Sys.is_directory p then
+      Array.fold_left (fun acc f -> walk acc (Filename.concat p f)) acc
+        (Sys.readdir p)
+    else if Filename.check_suffix p ".rec" then p :: acc
+    else acc
+  in
+  walk [] (Filename.concat dir "objects")
+
+let test_store_quarantines_corruption () =
+  let dir = tmp_dir () in
+  let s = Store.open_ dir in
+  let key = Key.make ~experiment:"corrupt" ~seed:7 ~trial_index:0 () in
+  Store.add s ~key ~experiment:"corrupt" [| 1.0; 2.0; 3.0 |];
+  (match find_record_file dir with
+  | [ path ] ->
+      (* Flip one bit in the payload on disk. *)
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic len |> Bytes.of_string in
+      close_in ic;
+      let pos = len - 1 in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc
+  | files ->
+      Alcotest.failf "expected exactly one record file, found %d"
+        (List.length files));
+  (* The flipped record must read as a miss, never as data... *)
+  Alcotest.(check bool)
+    "corrupt record not served" true
+    (Store.find s ~key = (None : float array option));
+  Alcotest.(check int) "corruption counted" 1 (Store.counters s).Store.corrupt;
+  (* ...and the file must land in quarantine, not be served on reopen. *)
+  Alcotest.(check int) "no live record files" 0
+    (List.length (find_record_file dir));
+  Alcotest.(check bool)
+    "quarantine holds the record" true
+    (Array.length (Sys.readdir (Filename.concat dir "quarantine")) = 1);
+  let s2 = Store.open_ dir in
+  Alcotest.(check bool)
+    "miss after reopen" true
+    (Store.find s2 ~key = (None : float array option))
+
+let test_store_gc_bound () =
+  let dir = tmp_dir () in
+  (* Each record is a few hundred bytes; a 1 KiB bound forces eviction. *)
+  let s = Store.open_ ~max_bytes:1024 dir in
+  let keys =
+    Array.init 8 (fun i -> Key.make ~experiment:"gc" ~seed:1 ~trial_index:i ())
+  in
+  Array.iteri (fun i key -> Store.add s ~key ~experiment:"gc" (String.make 200 (Char.chr (65 + i)))) keys;
+  Alcotest.(check bool) "bound enforced" true (Store.live_bytes s <= 1024);
+  Alcotest.(check bool)
+    "evictions happened" true
+    ((Store.counters s).Store.evictions > 0);
+  (* Newest record always survives; oldest is the first to go. *)
+  Alcotest.(check bool)
+    "newest retained" true
+    (Store.find s ~key:keys.(7) = Some (String.make 200 'H'));
+  Alcotest.(check bool)
+    "oldest evicted" true
+    (Store.find s ~key:keys.(0) = (None : string option));
+  (* A reopen agrees with the journal after evictions. *)
+  let s2 = Store.open_ ~max_bytes:1024 dir in
+  Alcotest.(check int)
+    "reopen sees surviving records" (Store.live_records s)
+    (Store.live_records s2)
+
+(* ---- memo ---- *)
+
+let with_store dir f =
+  let s = Store.open_ dir in
+  Store.install s;
+  Fun.protect ~finally:Store.uninstall (fun () -> f s)
+
+let trial i = (i, float_of_int (i * i) /. 7.0)
+
+let test_memo_counts_and_resume () =
+  let dir = tmp_dir () in
+  let run () =
+    with_store dir (fun s ->
+        let r =
+          Memo.map Runner.sequential ~experiment:"memo" ~seed:42
+            ~config:[ ("n", "10") ]
+            10 trial
+        in
+        (r, Store.counters s))
+  in
+  let cold, c1 = run () in
+  Alcotest.(check int) "cold: all miss" 10 c1.Store.misses;
+  Alcotest.(check int) "cold: no hits" 0 c1.Store.hits;
+  let warm, c2 = run () in
+  Alcotest.(check int) "warm: all hit" 10 c2.Store.hits;
+  Alcotest.(check int) "warm: no misses" 0 c2.Store.misses;
+  Alcotest.(check bool) "warm results identical" true (cold = warm);
+  (* Partial warmth — e.g. a campaign killed mid-batch: grow the fan-out
+     and only the new indices are computed. *)
+  let bigger, c3 =
+    with_store dir (fun s ->
+        let r =
+          Memo.map Runner.sequential ~experiment:"memo" ~seed:42
+            ~config:[ ("n", "10") ]
+            15 trial
+        in
+        (r, Store.counters s))
+  in
+  Alcotest.(check int) "resume: old trials hit" 10 c3.Store.hits;
+  Alcotest.(check int) "resume: only new trials computed" 5 c3.Store.misses;
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) "resume values correct" true (v = trial i))
+    bigger
+
+let test_memo_warm_matches_any_pool_width () =
+  let dir = tmp_dir () in
+  let run pool =
+    with_store dir (fun _ ->
+        Memo.map pool ~experiment:"width" ~seed:9
+          ~trial_config:(fun i -> [ ("tp", Key.f (float_of_int i)) ])
+          20 trial)
+  in
+  let cold = run Runner.sequential in
+  let warm_par = run (Runner.create ~jobs:4 ()) in
+  let no_store =
+    Memo.map (Runner.create ~jobs:4 ()) ~experiment:"width" ~seed:9
+      ~trial_config:(fun i -> [ ("tp", Key.f (float_of_int i)) ])
+      20 trial
+  in
+  Alcotest.(check bool) "warm jobs=4 = cold jobs=1" true (cold = warm_par);
+  Alcotest.(check bool) "store path = storeless path" true (cold = no_store)
+
+let test_memo_without_store_is_plain_map () =
+  Store.uninstall ();
+  let r = Memo.map Runner.sequential ~experiment:"plain" ~seed:1 5 trial in
+  Alcotest.(check bool) "plain map" true (r = Array.init 5 trial)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_codec_detects_flip;
+    Alcotest.test_case "codec typed errors" `Quick test_codec_errors;
+    Alcotest.test_case "key field-order independent" `Quick
+      test_key_field_order_independent;
+    Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+    Alcotest.test_case "key duplicate fields rejected" `Quick
+      test_key_rejects_duplicate_fields;
+    Alcotest.test_case "key escaping" `Quick test_key_escaping;
+    Alcotest.test_case "store round-trip + reopen" `Quick
+      test_store_roundtrip_and_persistence;
+    Alcotest.test_case "store quarantines corruption" `Quick
+      test_store_quarantines_corruption;
+    Alcotest.test_case "store GC bound" `Quick test_store_gc_bound;
+    Alcotest.test_case "memo hit/miss + resume" `Quick
+      test_memo_counts_and_resume;
+    Alcotest.test_case "memo warm at any width" `Quick
+      test_memo_warm_matches_any_pool_width;
+    Alcotest.test_case "memo without store" `Quick
+      test_memo_without_store_is_plain_map;
+  ]
