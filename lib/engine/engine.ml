@@ -5,12 +5,32 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable fired : int;
   mutable observer : (time:Sim_time.t -> pending:int -> unit) option;
+  (* The drain callback handed to [Event_queue.pop_into], built once at
+     creation: [step] runs with zero allocation (DESIGN §10). *)
+  mutable dispatch : Sim_time.t -> (unit -> unit) -> unit;
 }
 
 exception Schedule_in_past
 
 let create () =
-  { clock = Sim_time.zero; queue = Event_queue.create (); fired = 0; observer = None }
+  let t =
+    {
+      clock = Sim_time.zero;
+      queue = Event_queue.create ();
+      fired = 0;
+      observer = None;
+      dispatch = (fun _ _ -> ());
+    }
+  in
+  t.dispatch <-
+    (fun time f ->
+      t.clock <- time;
+      f ();
+      t.fired <- t.fired + 1;
+      match t.observer with
+      | Some obs -> obs ~time:t.clock ~pending:(Event_queue.length t.queue)
+      | None -> ());
+  t
 
 let now t = t.clock
 let pending t = Event_queue.length t.queue
@@ -27,7 +47,7 @@ let schedule t ~after f =
   at t ~time:(Sim_time.add t.clock after) f
 
 let cancel t handle = Event_queue.cancel t.queue handle
-let is_live = Event_queue.is_live
+let is_live t handle = Event_queue.is_live t.queue handle
 
 let every t ~period ?start f =
   let first =
@@ -50,25 +70,15 @@ let every t ~period ?start f =
   in
   Lazy.force cell
 
-let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      f ();
-      t.fired <- t.fired + 1;
-      (match t.observer with
-      | Some obs -> obs ~time:t.clock ~pending:(Event_queue.length t.queue)
-      | None -> ());
-      true
+let step t = Event_queue.pop_into t.queue t.dispatch
 
 let run_until t stop =
+  (* [peek_time_or] with a [max_int] sentinel keeps the bound check
+     allocation-free; [step] returning false (empty queue) terminates the
+     loop even for [stop = max_int]. *)
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= stop ->
-        ignore (step t);
-        loop ()
-    | Some _ | None -> ()
+    if Event_queue.peek_time_or t.queue ~default:max_int <= stop && step t
+    then loop ()
   in
   loop ();
   if t.clock < stop then t.clock <- stop

@@ -43,7 +43,10 @@ val at : t -> time:Sim_time.t -> (unit -> unit) -> handle
 
 val cancel : t -> handle -> unit
 
-val is_live : handle -> bool
+val is_live : t -> handle -> bool
+(** [is_live t h] is [true] until the event fires or is cancelled. Handles
+    are immediate slot/generation pairs, so liveness is resolved against
+    the engine's queue rather than carried in the handle itself. *)
 
 val every :
   t -> period:Sim_time.t -> ?start:Sim_time.t -> (unit -> unit) -> handle ref

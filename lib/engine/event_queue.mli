@@ -1,14 +1,20 @@
 (** Pending-event set for the discrete-event engine.
 
-    A binary min-heap ordered by (time, insertion sequence): events scheduled
-    for the same instant fire in insertion order, which keeps simulations
-    deterministic. Cancellation is O(1) (a tombstone flag); cancelled entries
-    are dropped lazily when they reach the heap top. *)
+    A 4-ary min-heap over unboxed parallel [int] arrays, ordered by
+    (time, insertion sequence): events scheduled for the same instant fire
+    in insertion order, which keeps simulations deterministic. Payloads
+    live in a recycled slot table; a {!handle} is an immediate int packing
+    (slot, generation), so a push allocates only the payload cell and the
+    {!pop_into} dispatch path allocates nothing at all (DESIGN §10).
+    Cancellation is O(1) (a tombstone flag); cancelled entries are dropped
+    lazily when they reach the heap top. *)
 
 type 'a t
 
 type handle
-(** Identifies a scheduled event for cancellation. *)
+(** Identifies a scheduled event for cancellation. Immediate (unboxed);
+    generation-guarded, so operations on a handle whose slot has been
+    recycled are no-ops. *)
 
 val create : unit -> 'a t
 
@@ -24,22 +30,36 @@ val cancel : 'a t -> handle -> unit
 (** Cancel a scheduled event. Cancelling an already-fired or already-
     cancelled event is a no-op. *)
 
-val is_live : handle -> bool
-(** [is_live h] is [true] until the event fires or is cancelled. *)
+val is_live : 'a t -> handle -> bool
+(** [is_live t h] is [true] until the event fires or is cancelled. *)
 
 val pop : 'a t -> (Sim_time.t * 'a) option
-(** Remove and return the earliest live event. *)
+(** Remove and return the earliest live event. Convenience wrapper over
+    {!pop_into}; allocates the option and pair. *)
+
+val pop_into : 'a t -> (Sim_time.t -> 'a -> unit) -> bool
+(** [pop_into t f] removes the earliest live event and calls [f time
+    payload]; returns [false] without calling [f] when no live event
+    remains. The queue is fully restructured before [f] runs, so [f] may
+    push or cancel freely. Allocation-free: the engine's drain loop passes
+    one preallocated closure. *)
 
 val peek_time : 'a t -> Sim_time.t option
 (** Time of the earliest live event without removing it. *)
 
+val peek_time_or : 'a t -> default:Sim_time.t -> Sim_time.t
+(** Allocation-free {!peek_time}: the earliest live event's time, or
+    [default] when the queue is empty. *)
+
 val invariant_violations : 'a t -> string list
 (** Structural self-check, one message per violated invariant (empty when
-    healthy): heap order over the occupied slots, live-count agreement with
-    the pending entries actually stored, size within capacity, and slot
-    hygiene (every vacated slot holds the shared filler, so fired and
-    cancelled payloads are collectible). The simulation sanitizer samples
-    this on a cadence; it is O(size). *)
+    healthy): 4-ary heap order over the occupied prefix, live-count
+    agreement with the pending slots actually referenced, size within
+    capacity, parallel-array capacity agreement, slot-table hygiene (every
+    heap entry references a distinct allocated slot that still holds its
+    payload) and free-list integrity (exactly the vacated slots, each with
+    its payload cleared so fired and cancelled closures are collectible).
+    The simulation sanitizer samples this on a cadence; it is O(size). *)
 
 module Unsafe : sig
   val skew_live : 'a t -> int -> unit

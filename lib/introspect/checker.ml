@@ -24,6 +24,13 @@ type t = {
   algo : Hash.algo;
   style : style;
   golden : (int * int, golden) Hashtbl.t; (* keyed by (base, len) *)
+  mutable scratch : Bytes.t;
+      (* [Snapshot]-style capture buffer, hoisted to checker creation and
+         grown (only) at [enroll] to the largest enrolled range: scan
+         rounds reuse it instead of allocating a fresh snapshot per round
+         (DESIGN §10). Each use is transient — capture, analyze, return —
+         within a single event callback, so one buffer per checker is
+         enough even with several areas mid-scan. *)
   mutable scans : int;
   mutable tampered : int;
 }
@@ -36,17 +43,21 @@ let create ~memory ~cycle ~prng ~algo ~style =
     algo;
     style;
     golden = Hashtbl.create 32;
+    scratch = Bytes.create 0;
     scans = 0;
     tampered = 0;
   }
 
 let algo t = t.algo
 let style t = t.style
+let scratch_capacity t = Bytes.length t.scratch
 
 let enroll t ~base ~len =
   let content =
-    Bytes.to_string (Memory.read_bytes t.memory ~world:World.Secure ~addr:base ~len)
+    Memory.with_range_ro t.memory ~world:World.Secure ~addr:base ~len
+      ~f:(fun data off -> Bytes.sub_string data off len)
   in
+  if len > Bytes.length t.scratch then t.scratch <- Bytes.create len;
   let hash = Hash.hash_string t.algo content in
   Hashtbl.replace t.golden (base, len) { g_len = len; g_content = content; g_hash = hash };
   hash
@@ -68,54 +79,76 @@ let per_byte_triple t core_type =
   | Direct_hash -> t.cycle.Cycle_model.hash_1byte core_type
   | Snapshot -> t.cycle.Cycle_model.snapshot_1byte core_type
 
+(* Present the live range to [f] as [(data, off)] without a per-round
+   allocation: [Direct_hash] analyzes the memory backing store in place
+   (the paper's streaming style); [Snapshot] captures into the per-checker
+   scratch buffer first — same bytes at the same instant, so detection
+   outcomes and hashes are identical, but the capture models the
+   copy-then-analyze style without allocating a fresh buffer per round. *)
+let with_live t ~base ~len ~f =
+  match t.style with
+  | Direct_hash ->
+      Memory.with_range_ro t.memory ~world:World.Secure ~addr:base ~len ~f
+  | Snapshot ->
+      Memory.with_range_ro t.memory ~world:World.Secure ~addr:base ~len
+        ~f:(fun data off -> Bytes.blit data off t.scratch 0 len);
+      f t.scratch 0
+
+(* Word-level equality of [data[doff..)] against golden content: eight
+   bytes per comparison over the aligned middle, byte tail after. *)
+let range_equal data doff golden goff blen =
+  let i = ref 0 and equal = ref true in
+  let stop8 = blen - 7 in
+  while !equal && !i < stop8 do
+    if
+      Int64.equal
+        (Bytes.get_int64_ne data (doff + !i))
+        (String.get_int64_ne golden (goff + !i))
+    then i := !i + 8
+    else equal := false
+  done;
+  while !equal && !i < blen do
+    if Bytes.unsafe_get data (doff + !i) = String.unsafe_get golden (goff + !i)
+    then incr i
+    else equal := false
+  done;
+  !equal
+
 (* Collect maximal dirty ranges (offset, len) of the current content
    relative to golden. Block-compare first so the clean common case costs
-   one memcmp per 4 KiB instead of a byte loop over megabytes. *)
+   one word-level sweep per 4 KiB instead of a byte loop over megabytes. *)
 let diff_block = 4096
 
 let dirty_ranges t golden ~base =
-  let live =
-    Memory.read_bytes t.memory ~world:World.Secure ~addr:base ~len:golden.g_len
-  in
-  let live = Bytes.unsafe_to_string live in
-  if String.equal live golden.g_content then []
-  else begin
-    let ranges = ref [] in
-    let run_start = ref (-1) in
-    let flush i =
-      if !run_start >= 0 then begin
-        ranges := (!run_start, i - !run_start) :: !ranges;
-        run_start := -1
-      end
-    in
-    let len = golden.g_len in
-    let block_equal lo blen =
-      let i = ref lo and equal = ref true in
-      let stop = lo + blen in
-      while !equal && !i < stop do
-        if String.unsafe_get live !i <> String.unsafe_get golden.g_content !i
-        then equal := false
-        else incr i
+  let len = golden.g_len in
+  with_live t ~base ~len ~f:(fun data off ->
+      let ranges = ref [] in
+      let run_start = ref (-1) in
+      let flush i =
+        if !run_start >= 0 then begin
+          ranges := (!run_start, i - !run_start) :: !ranges;
+          run_start := -1
+        end
+      in
+      let block = ref 0 in
+      while !block * diff_block < len do
+        let lo = !block * diff_block in
+        let blen = min diff_block (len - lo) in
+        if not (range_equal data (off + lo) golden.g_content lo blen) then
+          for i = lo to lo + blen - 1 do
+            if
+              Bytes.unsafe_get data (off + i)
+              <> String.unsafe_get golden.g_content i
+            then begin
+              if !run_start < 0 then run_start := i
+            end
+            else flush i
+          done
+        else flush lo;
+        incr block
       done;
-      !equal
-    in
-    let block = ref 0 in
-    while !block * diff_block < len do
-      let lo = !block * diff_block in
-      let blen = min diff_block (len - lo) in
-      if not (block_equal lo blen) then
-        for i = lo to lo + blen - 1 do
-          if live.[i] <> golden.g_content.[i] then begin
-            if !run_start < 0 then run_start := i
-          end
-          else flush i
-        done
-      else flush lo;
-      incr block
-    done;
-    flush len;
-    List.rev !ranges
-  end
+      flush len;
+      List.rev !ranges)
 
 let start_scan t ~engine ~core ~base ~len ~on_verdict =
   let golden =
@@ -149,11 +182,16 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
     let time = Sim_time.max (pass_time offset) (Engine.now engine) in
     ignore
       (Engine.at engine ~time (fun () ->
-           for i = offset to offset + rlen - 1 do
-             let live = Memory.read_byte t.memory ~world:World.Secure ~addr:(base + i) in
-             if live <> Char.code golden.g_content.[i] then
-               Hashtbl.replace caught i ()
-           done))
+           (* One range check for the whole chunk instead of a per-byte
+              [read_byte] (whose access check walks the region list). *)
+           Memory.with_range_ro t.memory ~world:World.Secure
+             ~addr:(base + offset) ~len:rlen ~f:(fun data off ->
+               for i = 0 to rlen - 1 do
+                 if
+                   Bytes.unsafe_get data (off + i)
+                   <> String.unsafe_get golden.g_content (offset + i)
+                 then Hashtbl.replace caught (offset + i) ()
+               done)))
   in
   let check_at_pass (offset, rlen) =
     let chunk = 256 in
@@ -191,13 +229,13 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
          end;
          let observed =
            (* Fast path: content back to golden means the observed hash is
-              the authorized one — spare the streaming hash. *)
-           let live =
-             Memory.read_bytes t.memory ~world:World.Secure ~addr:base ~len
-           in
-           if String.equal (Bytes.unsafe_to_string live) golden.g_content then
-             golden.g_hash
-           else Hash.hash_bytes t.algo live
+              the authorized one — spare the streaming hash. Either way,
+              no snapshot copy: the live view is zero-copy (or the reused
+              scratch for [Snapshot]). *)
+           with_live t ~base ~len ~f:(fun data off ->
+               if range_equal data off golden.g_content 0 len then
+                 golden.g_hash
+               else Hash.hash_sub t.algo data ~off ~len)
          in
          on_verdict
            {

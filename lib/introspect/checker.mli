@@ -15,7 +15,9 @@
     - [Direct_hash]: stream the live memory through the hash (cheaper,
       no buffer — the style the paper recommends).
     - [Snapshot]: copy then hash (slightly dearer per byte and needs a
-      buffer; the capture front races the attacker the same way). *)
+      buffer; the capture front races the attacker the same way). The
+      capture buffer is allocated once per checker and reused across scan
+      rounds — see {!scratch_capacity}. *)
 
 type style = Direct_hash | Snapshot
 
@@ -34,6 +36,11 @@ val create :
 
 val algo : t -> Hash.algo
 val style : t -> style
+
+val scratch_capacity : t -> int
+(** Size in bytes of the per-checker capture buffer ([Snapshot] style).
+    Grows only at {!enroll} (to the largest enrolled range), never during
+    a scan round — the zero-buffer-growth regression test pins this. *)
 
 val enroll : t -> base:int -> len:int -> int64
 (** Capture the golden content and hash of a range (trusted boot). Returns

@@ -9,6 +9,11 @@ type t = {
   pages : int;
   leaves_pow2 : int; (* leaf slots, padded to a power of two *)
   nodes : int64 array; (* heap layout: node i has children 2i+1, 2i+2 *)
+  scratch : int64 array;
+      (* [live_root]'s workspace, allocated once at [build] instead of per
+         verification round. Padding-leaf slots are seeded from [nodes] at
+         build time and never change; every round overwrites the real
+         leaves and all internal nodes (DESIGN §10). *)
   mutable rehashes : int;
 }
 
@@ -48,6 +53,7 @@ let build ?(page_size = 4096) algo memory ~base ~len =
       pages;
       leaves_pow2;
       nodes = Array.make ((2 * leaves_pow2) - 1) (Hash.init algo);
+      scratch = Array.make ((2 * leaves_pow2) - 1) (Hash.init algo);
       rehashes = 0;
     }
   in
@@ -57,15 +63,17 @@ let build ?(page_size = 4096) algo memory ~base ~len =
   for i = leaves_pow2 - 2 downto 0 do
     t.nodes.(i) <- combine algo t.nodes.((2 * i) + 1) t.nodes.((2 * i) + 2)
   done;
+  Array.blit t.nodes 0 t.scratch 0 (Array.length t.nodes);
   t
 
 let root t = t.nodes.(0)
 let secure_bytes t = 8 * Array.length t.nodes
 
 let live_root t memory =
-  (* Recompute bottom-up into a scratch array without touching the stored
-     tree. *)
-  let scratch = Array.copy t.nodes in
+  (* Recompute bottom-up into the preallocated scratch without touching
+     the stored tree: real leaves and every internal node are overwritten
+     each round; padding leaves were seeded at build and are immutable. *)
+  let scratch = t.scratch in
   for page = 0 to t.pages - 1 do
     scratch.(leaf_index t page) <- leaf_hash t memory page
   done;

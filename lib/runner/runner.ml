@@ -1,13 +1,26 @@
 module Obs = Satin_obs.Obs
 
-type t = { jobs : int; mutable last_wall_s : float }
+type t = { jobs : int; effective_jobs : int; mutable last_wall_s : float }
 
-let create ?(jobs = 1) () =
+(* Domains beyond the host's cores only add GC-synchronization stalls:
+   BENCH_runner.json showed --jobs 4 running at 0.22-0.74x of --jobs 1 on
+   a 1-core host before the clamp. The requested width is kept for
+   reporting; dispatch uses the clamped width. *)
+let host_cores () = Domain.recommended_domain_count ()
+
+let create ?(clamp = true) ?(jobs = 1) () =
   if jobs < 1 then invalid_arg "Runner.create: jobs must be >= 1";
-  { jobs; last_wall_s = 0.0 }
+  let cores = host_cores () in
+  if clamp && jobs > cores then
+    Printf.eprintf
+      "runner: --jobs %d exceeds the %d available core(s); clamping to %d\n%!"
+      jobs cores cores;
+  let effective_jobs = if clamp then min jobs cores else jobs in
+  { jobs; effective_jobs; last_wall_s = 0.0 }
 
 let sequential = create ()
 let jobs t = t.jobs
+let effective_jobs t = t.effective_jobs
 let last_batch_wall_s t = t.last_wall_s
 
 (* Set while the current domain is executing a trial body; [map] from a
@@ -35,13 +48,17 @@ let collect results =
       | Pending -> assert false)
     results
 
-let record_metrics ~n ~wall executed =
+let record_metrics ~n ~requested ~effective ~wall executed =
   Obs.incr "runner.batches";
   Obs.incr "runner.trials" ~by:n;
   Obs.set_gauge "runner.queue_depth" 0.0;
   (* Wall time is the one nondeterministic reading here; it goes to the
-     segregated real-time registry so --metrics output stays byte-stable. *)
+     segregated real-time registry so --metrics output stays byte-stable.
+     The pool widths join it because the effective width is a property of
+     the host (the clamp), not of the simulated run. *)
   Obs.observe_wall "runner.batch_wall_s" wall;
+  Obs.observe_wall "runner.jobs_requested" (float_of_int requested);
+  Obs.observe_wall "runner.jobs_effective" (float_of_int effective);
   Array.iteri
     (fun w c ->
       Obs.incr "runner.domain_trials"
@@ -56,7 +73,7 @@ let map pool n f =
   (* The obs sink is a process-global; trial bodies instrument through it,
      so a batch under an installed sink runs sequentially (same results —
      that is the whole point of the pool — just no overlap). *)
-  let jobs = if Obs.enabled () then 1 else min pool.jobs n in
+  let jobs = if Obs.enabled () then 1 else min pool.effective_jobs n in
   Obs.set_gauge "runner.queue_depth" (float_of_int n);
   let wall0 = Unix.gettimeofday () in
   let results = Array.make n Pending in
@@ -74,18 +91,25 @@ let map pool n f =
     else begin
       let next = Atomic.make 0 in
       let executed = Array.make jobs 0 in
-      (* Work stealing over an atomic cursor: each worker claims the next
-         unclaimed index and writes its private slot, so domains never touch
+      (* Work stealing over a chunked atomic cursor: each worker claims a
+         run of [chunk] indices per fetch-and-add, amortizing the shared-
+         counter traffic and domain wake-ups over several trials while
+         leaving enough chunks (about 8 per worker) for load balancing.
+         Each worker writes private result slots, so domains never touch
          the same location and the result array is index-ordered by
          construction. *)
+      let chunk = max 1 (n / (jobs * 8)) in
       let worker w =
         Domain.DLS.set in_trial true;
         let count = ref 0 in
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            results.(i) <- run_trial f i;
-            incr count;
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo < n then begin
+            let hi = min (lo + chunk) n in
+            for i = lo to hi - 1 do
+              results.(i) <- run_trial f i;
+              incr count
+            done;
             loop ()
           end
         in
@@ -104,7 +128,7 @@ let map pool n f =
   in
   let wall = Unix.gettimeofday () -. wall0 in
   pool.last_wall_s <- wall;
-  record_metrics ~n ~wall executed;
+  record_metrics ~n ~requested:pool.jobs ~effective:jobs ~wall executed;
   collect results
 
 let map_cached pool n ~lookup ?(on_computed = fun _ _ -> ()) f =

@@ -25,13 +25,20 @@ let escape_line s =
     s;
   Buffer.contents buf
 
+(* The checksum covers the (escaped) experiment line as well as the
+   payload: a corrupted experiment name must read as a damaged record, not
+   as a clean record filed under a different experiment. *)
+let checksum ~experiment_line payload =
+  Digest.to_hex (Digest.string (experiment_line ^ "\n" ^ payload))
+
 let encode ~experiment v =
   let payload = Marshal.to_string v [] in
+  let experiment_line = escape_line experiment in
   String.concat ""
     [
       magic; "\n";
-      escape_line experiment; "\n";
-      Digest.to_hex (Digest.string payload); "\n";
+      experiment_line; "\n";
+      checksum ~experiment_line payload; "\n";
       string_of_int (String.length payload); "\n";
       payload;
     ]
@@ -71,11 +78,11 @@ let experiment s = Result.map (fun (exp, _, _, _) -> exp) (header s)
 let decode s =
   match header s with
   | Error e -> Error e
-  | Ok (_exp, sum, len, pos) ->
+  | Ok (exp, sum, len, pos) ->
       if len < 0 || String.length s - pos <> len then Error Truncated
       else
         let payload = String.sub s pos len in
-        if not (String.equal (Digest.to_hex (Digest.string payload)) sum) then
+        if not (String.equal (checksum ~experiment_line:exp payload) sum) then
           Error Bad_checksum
         else begin
           try Ok (Marshal.from_string payload 0) with _ -> Error Garbled

@@ -33,7 +33,7 @@ let check_identical what seq par =
 
 let test_report_identical seed () =
   let seq = report ~pool:Runner.sequential ~seed in
-  let par = report ~pool:(Runner.create ~jobs:4 ()) ~seed in
+  let par = report ~pool:(Runner.create ~clamp:false ~jobs:4 ()) ~seed in
   check_identical (Printf.sprintf "run_all ~quick report (seed %d)" seed) seq
     par
 
@@ -54,7 +54,7 @@ let summary ~pool ~seed =
 
 let test_json_identical seed () =
   let seq = summary ~pool:Runner.sequential ~seed in
-  let par = summary ~pool:(Runner.create ~jobs:4 ()) ~seed in
+  let par = summary ~pool:(Runner.create ~clamp:false ~jobs:4 ()) ~seed in
   check_identical (Printf.sprintf "--json summary (seed %d)" seed) seq par
 
 let seeds = [ 7; 11; 42 ]

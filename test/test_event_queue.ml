@@ -35,7 +35,7 @@ let test_cancel () =
   Alcotest.(check int) "two live" 2 (Event_queue.length q);
   Event_queue.cancel q h1;
   Alcotest.(check int) "one live" 1 (Event_queue.length q);
-  Alcotest.(check bool) "handle dead" false (Event_queue.is_live h1);
+  Alcotest.(check bool) "handle dead" false (Event_queue.is_live q h1);
   (match Event_queue.pop q with
   | Some (_, v) -> Alcotest.(check string) "survivor" "keep" v
   | None -> Alcotest.fail "expected survivor");
@@ -53,12 +53,52 @@ let test_peek_skips_cancelled () =
   let h = Event_queue.push q ~time:1 "x" in
   ignore (Event_queue.push q ~time:5 "y");
   Event_queue.cancel q h;
-  Alcotest.(check (option int)) "peek live" (Some 5) (Event_queue.peek_time q)
+  Alcotest.(check (option int)) "peek live" (Some 5) (Event_queue.peek_time q);
+  Alcotest.(check int) "peek_time_or live" 5
+    (Event_queue.peek_time_or q ~default:(-1))
 
 let test_pop_empty () =
   let q : unit Event_queue.t = Event_queue.create () in
   Alcotest.(check bool) "pop empty" true (Event_queue.pop q = None);
-  Alcotest.(check bool) "peek empty" true (Event_queue.peek_time q = None)
+  Alcotest.(check bool) "peek empty" true (Event_queue.peek_time q = None);
+  Alcotest.(check int) "peek_time_or empty" (-1)
+    (Event_queue.peek_time_or q ~default:(-1));
+  Alcotest.(check bool) "pop_into empty" false
+    (Event_queue.pop_into q (fun _ _ -> Alcotest.fail "callback on empty"))
+
+let test_pop_into () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:7 "late");
+  ignore (Event_queue.push q ~time:3 "early");
+  let got = ref [] in
+  let f time v = got := (time, v) :: !got in
+  Alcotest.(check bool) "first" true (Event_queue.pop_into q f);
+  Alcotest.(check bool) "second" true (Event_queue.pop_into q f);
+  Alcotest.(check bool) "drained" false (Event_queue.pop_into q f);
+  Alcotest.(check (list (pair int string)))
+    "time order via pop_into"
+    [ (3, "early"); (7, "late") ]
+    (List.rev !got)
+
+let test_pop_into_reentrant_push () =
+  (* The drain callback may push: the engine's event bodies schedule
+     follow-ups while the queue is mid-pop. *)
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:1 `Seed);
+  let fired = ref 0 in
+  let rec f _time v =
+    incr fired;
+    (match v with
+    | `Seed ->
+        ignore (Event_queue.push q ~time:2 `Child);
+        ignore (Event_queue.push q ~time:3 `Child)
+    | `Child -> ());
+    ignore (Event_queue.invariant_violations q = [])
+  and drain () = if Event_queue.pop_into q f then drain () in
+  drain ();
+  Alcotest.(check int) "seed plus two children" 3 !fired;
+  Alcotest.(check (list string)) "clean after reentrant drain" []
+    (Event_queue.invariant_violations q)
 
 let test_growth () =
   let q = Event_queue.create () in
@@ -73,6 +113,31 @@ let test_growth () =
         Alcotest.(check int) "value" i v
     | None -> Alcotest.fail "missing event"
   done
+
+let test_stale_handle_after_recycle () =
+  (* Slots are recycled through the free-list; a handle to a fired event
+     must stay dead even after its slot is reused, and cancelling it must
+     not touch the new occupant. *)
+  let q = Event_queue.create () in
+  let h_old = Event_queue.push q ~time:1 "old" in
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "fired handle dead" false (Event_queue.is_live q h_old);
+  let h_new = Event_queue.push q ~time:2 "new" in
+  Event_queue.cancel q h_old;
+  Alcotest.(check bool) "recycled occupant unharmed" true
+    (Event_queue.is_live q h_new);
+  Alcotest.(check int) "still one live" 1 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check string) "new survives stale cancel" "new" v
+  | None -> Alcotest.fail "expected new event");
+  (* Same for a cancelled-then-recycled slot. *)
+  let h_c = Event_queue.push q ~time:3 "cancelled" in
+  Event_queue.cancel q h_c;
+  Alcotest.(check bool) "drained tombstone" true (Event_queue.pop q = None);
+  let h_n2 = Event_queue.push q ~time:4 "again" in
+  Event_queue.cancel q h_c;
+  Alcotest.(check bool) "second occupant unharmed" true
+    (Event_queue.is_live q h_n2)
 
 let test_fired_payloads_collectible () =
   (* Regression for the space leak: popped (and cancelled) slots must not
@@ -100,10 +165,29 @@ let test_fired_payloads_collectible () =
   (* The queue itself must survive the test (keep it live past the GC). *)
   Alcotest.(check bool) "queue empty" true (Event_queue.is_empty q)
 
+let test_dispatch_allocation_free () =
+  (* The perf contract behind BENCH_engine.json: draining through
+     [pop_into] with a preallocated callback allocates nothing per event.
+     Warm the queue, then measure [Gc.minor_words] across the drain. *)
+  let q = Event_queue.create () in
+  let n = 10_000 in
+  let sink = ref 0 in
+  let f _time v = sink := !sink + v in
+  for i = 0 to n - 1 do
+    ignore (Event_queue.push q ~time:(i land 1023) i)
+  done;
+  let w0 = Gc.minor_words () in
+  let rec drain () = if Event_queue.pop_into q f then drain () in
+  drain ();
+  let per_event = (Gc.minor_words () -. w0) /. float_of_int n in
+  Alcotest.(check int) "all events dispatched" (n * (n - 1) / 2) !sink;
+  if per_event > 0.5 then
+    Alcotest.failf "pop_into allocates %.2f words/event (want 0)" per_event
+
 (* Model-based property: the queue against a reference implementation (a
    sorted association list keyed by (time, insertion seq)) under an
-   arbitrary interleaving of push / cancel / pop. *)
-type op = Push of int | Cancel of int | Pop
+   arbitrary interleaving of push / cancel / pop / pop_into / peek. *)
+type op = Push of int | Cancel of int | Pop | Pop_into | Peek
 
 let op_gen =
   QCheck.Gen.(
@@ -111,16 +195,21 @@ let op_gen =
       [
         (5, map (fun t -> Push t) (int_bound 1000));
         (2, map (fun i -> Cancel i) (int_bound 50));
-        (3, return Pop);
+        (2, return Pop);
+        (2, return Pop_into);
+        (1, return Peek);
       ])
 
 let op_print = function
   | Push t -> Printf.sprintf "Push %d" t
   | Cancel i -> Printf.sprintf "Cancel %d" i
   | Pop -> "Pop"
+  | Pop_into -> "Pop_into"
+  | Peek -> "Peek"
 
 let prop_matches_reference_model =
-  QCheck.Test.make ~name:"queue matches sorted-list model under push/cancel/pop"
+  QCheck.Test.make
+    ~name:"queue matches sorted-list model under push/cancel/pop/peek"
     ~count:200
     QCheck.(list_of_size Gen.(0 -- 120) (make ~print:op_print op_gen))
     (fun ops ->
@@ -130,13 +219,14 @@ let prop_matches_reference_model =
       let model = ref [] in
       let seq = ref 0 in
       let ok = ref true in
+      let model_live () = List.filter (fun (_, _, a) -> !a) !model in
+      let model_sorted () =
+        List.sort
+          (fun (s1, t1, _) (s2, t2, _) -> compare (t1, s1) (t2, s2))
+          (model_live ())
+      in
       let model_pop () =
-        let live = List.filter (fun (_, _, a) -> !a) !model in
-        match
-          List.sort
-            (fun (s1, t1, _) (s2, t2, _) -> compare (t1, s1) (t2, s2))
-            live
-        with
+        match model_sorted () with
         | [] -> None
         | (s, t, a) :: _ ->
             a := false;
@@ -159,10 +249,29 @@ let prop_matches_reference_model =
           | Pop ->
               let got = Event_queue.pop q in
               let want = model_pop () in
-              if got <> want then ok := false)
+              if got <> want then ok := false
+          | Pop_into ->
+              let got = ref None in
+              let popped =
+                Event_queue.pop_into q (fun t v -> got := Some (t, v))
+              in
+              let want = model_pop () in
+              if !got <> want || popped <> (want <> None) then ok := false
+          | Peek ->
+              let want =
+                match model_sorted () with (_, t, _) :: _ -> Some t | [] -> None
+              in
+              if Event_queue.peek_time q <> want then ok := false)
         ops;
-      let live_model = List.length (List.filter (fun (_, _, a) -> !a) !model) in
-      !ok
+      let live_model = List.length (model_live ()) in
+      (* Every handle's liveness must agree with the model, including
+         handles whose slots have since been recycled. *)
+      let handles_agree =
+        List.for_all
+          (fun (s, _, a) -> Event_queue.is_live q !handles.(s) = !a)
+          !model
+      in
+      !ok && handles_agree
       && Event_queue.length q = live_model
       && Event_queue.invariant_violations q = [])
 
@@ -201,9 +310,16 @@ let suite =
     Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
     Alcotest.test_case "peek skips cancelled" `Quick test_peek_skips_cancelled;
     Alcotest.test_case "pop empty" `Quick test_pop_empty;
+    Alcotest.test_case "pop_into" `Quick test_pop_into;
+    Alcotest.test_case "pop_into reentrant push" `Quick
+      test_pop_into_reentrant_push;
     Alcotest.test_case "growth to 1000" `Quick test_growth;
+    Alcotest.test_case "stale handle after slot recycle" `Quick
+      test_stale_handle_after_recycle;
     Alcotest.test_case "fired payloads collectible" `Quick
       test_fired_payloads_collectible;
+    Alcotest.test_case "pop_into dispatch is allocation-free" `Quick
+      test_dispatch_allocation_free;
     QCheck_alcotest.to_alcotest prop_matches_reference_model;
     QCheck_alcotest.to_alcotest prop_heap_orders_any_sequence;
     QCheck_alcotest.to_alcotest prop_cancel_half;

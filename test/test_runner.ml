@@ -14,7 +14,7 @@ let busy_trial i =
   (i, !acc)
 
 let test_submission_order () =
-  let pool = Runner.create ~jobs:4 () in
+  let pool = Runner.create ~clamp:false ~jobs:4 () in
   let results = Runner.map pool 100 busy_trial in
   Alcotest.(check int) "all trials ran" 100 (Array.length results);
   Array.iteri
@@ -23,11 +23,11 @@ let test_submission_order () =
 
 let test_parallel_matches_sequential () =
   let seq = Runner.map Runner.sequential 50 busy_trial in
-  let par = Runner.map (Runner.create ~jobs:4 ()) 50 busy_trial in
+  let par = Runner.map (Runner.create ~clamp:false ~jobs:4 ()) 50 busy_trial in
   Alcotest.(check bool) "identical results" true (seq = par)
 
 let test_empty_and_negative () =
-  let pool = Runner.create ~jobs:4 () in
+  let pool = Runner.create ~clamp:false ~jobs:4 () in
   Alcotest.(check int) "empty batch" 0 (Array.length (Runner.map pool 0 busy_trial));
   try
     ignore (Runner.map pool (-1) busy_trial);
@@ -40,6 +40,27 @@ let test_create_rejects_bad_jobs () =
     Alcotest.fail "jobs=0 accepted"
   with Invalid_argument _ -> ()
 
+(* The clamp caps dispatch width at the host's core count while the
+   requested width stays visible for reporting; ~clamp:false (which the
+   rest of this suite uses to genuinely exercise the multi-domain path on
+   small hosts) keeps the requested width. *)
+let test_jobs_clamped_to_cores () =
+  let cores = Domain.recommended_domain_count () in
+  let over = Runner.create ~jobs:(cores + 7) () in
+  Alcotest.(check int) "requested width kept" (cores + 7) (Runner.jobs over);
+  Alcotest.(check int) "dispatch width clamped" cores
+    (Runner.effective_jobs over);
+  let under = Runner.create ~jobs:1 () in
+  Alcotest.(check int) "within-cores width untouched" 1
+    (Runner.effective_jobs under);
+  let unclamped = Runner.create ~clamp:false ~jobs:(cores + 7) () in
+  Alcotest.(check int) "clamp:false keeps requested width" (cores + 7)
+    (Runner.effective_jobs unclamped);
+  (* A clamped pool still runs every trial and preserves order. *)
+  let results = Runner.map over 25 busy_trial in
+  Alcotest.(check int) "clamped pool ran the batch" 25 (Array.length results);
+  Array.iteri (fun i (j, _) -> Alcotest.(check int) "order" i j) results
+
 exception Boom of int
 
 (* Whatever domain finishes first, the re-raised failure must be the
@@ -47,7 +68,7 @@ exception Boom of int
 let test_exception_propagation () =
   List.iter
     (fun jobs ->
-      let pool = Runner.create ~jobs () in
+      let pool = Runner.create ~clamp:false ~jobs () in
       try
         ignore
           (Runner.map pool 20 (fun i ->
@@ -67,7 +88,7 @@ let test_failure_does_not_cancel () =
   let ran = Array.make 10 false in
   (try
      ignore
-       (Runner.map (Runner.create ~jobs:4 ()) 10 (fun i ->
+       (Runner.map (Runner.create ~clamp:false ~jobs:4 ()) 10 (fun i ->
             ran.(i) <- true;
             if i = 0 then failwith "early"))
    with Failure _ -> ());
@@ -78,7 +99,7 @@ let test_failure_does_not_cancel () =
 let test_nested_use_rejected () =
   List.iter
     (fun jobs ->
-      let pool = Runner.create ~jobs () in
+      let pool = Runner.create ~clamp:false ~jobs () in
       let inner = Runner.create () in
       try
         ignore
@@ -87,17 +108,17 @@ let test_nested_use_rejected () =
       with Invalid_argument _ -> ())
     [ 1; 4 ];
   (* The rejection flag must not stick after a batch completes. *)
-  let pool = Runner.create ~jobs:4 () in
+  let pool = Runner.create ~clamp:false ~jobs:4 () in
   ignore (Runner.map pool 4 busy_trial);
   ignore (Runner.map pool 4 busy_trial)
 
 let test_map_list () =
-  let pool = Runner.create ~jobs:4 () in
+  let pool = Runner.create ~clamp:false ~jobs:4 () in
   Alcotest.(check (list int)) "map_list order" [ 2; 4; 6; 8 ]
     (Runner.map_list pool [ 1; 2; 3; 4 ] (fun x -> 2 * x))
 
 let test_wall_clock_recorded () =
-  let pool = Runner.create ~jobs:2 () in
+  let pool = Runner.create ~clamp:false ~jobs:2 () in
   ignore (Runner.map pool 8 busy_trial);
   Alcotest.(check bool) "wall clock non-negative" true
     (Runner.last_batch_wall_s pool >= 0.0)
@@ -109,7 +130,7 @@ let test_metrics_under_sink () =
   let obs = Obs.create () in
   Obs.install obs;
   Fun.protect ~finally:Obs.uninstall (fun () ->
-      let pool = Runner.create ~jobs:4 () in
+      let pool = Runner.create ~clamp:false ~jobs:4 () in
       let results = Runner.map pool 12 busy_trial in
       Alcotest.(check bool) "results unchanged under sink" true
         (results = Runner.map Runner.sequential 12 busy_trial);
@@ -130,6 +151,7 @@ let suite =
     Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
     Alcotest.test_case "empty and negative batches" `Quick test_empty_and_negative;
     Alcotest.test_case "bad jobs rejected" `Quick test_create_rejects_bad_jobs;
+    Alcotest.test_case "jobs clamped to cores" `Quick test_jobs_clamped_to_cores;
     Alcotest.test_case "lowest-index exception wins" `Quick test_exception_propagation;
     Alcotest.test_case "failure does not cancel" `Quick test_failure_does_not_cancel;
     Alcotest.test_case "nested use rejected" `Quick test_nested_use_rejected;

@@ -287,9 +287,9 @@ let test_memo_warm_matches_any_pool_width () =
           20 trial)
   in
   let cold = run Runner.sequential in
-  let warm_par = run (Runner.create ~jobs:4 ()) in
+  let warm_par = run (Runner.create ~clamp:false ~jobs:4 ()) in
   let no_store =
-    Memo.map (Runner.create ~jobs:4 ()) ~experiment:"width" ~seed:9
+    Memo.map (Runner.create ~clamp:false ~jobs:4 ()) ~experiment:"width" ~seed:9
       ~trial_config:(fun i -> [ ("tp", Key.f (float_of_int i)) ])
       20 trial
   in
