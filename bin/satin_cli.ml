@@ -3,11 +3,14 @@
 open Cmdliner
 module E = Satin.Experiment
 module Obs = Satin_obs.Obs
+module Json = Satin_obs.Json
+module Progress = Satin_obs.Progress
 module Sanitizer = Satin_inject.Sanitizer
 module Runner = Satin_runner.Runner
 module Store = Satin_store.Store
 module SKey = Satin_store.Key
 module Fingerprint = Satin_store.Fingerprint
+module Telemetry = Satin_store.Telemetry
 
 let fmt = Format.std_formatter
 
@@ -65,6 +68,15 @@ let no_store_arg =
   in
   Arg.(value & flag & info [ "no-store" ] ~doc)
 
+let progress_arg =
+  let doc =
+    "Print live heartbeats to stderr while trials run: trials done/total, \
+     store hit rate, ETA, and current p50s of the headline latency series. \
+     Off by default; stdout reports (and every export) are byte-identical \
+     with or without it."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let resolve_store dir no_store =
   if no_store then None
   else match dir with Some _ -> dir | None -> Sys.getenv_opt "SATIN_STORE"
@@ -113,7 +125,10 @@ let with_check check f =
   end
 
 (* Install an observability sink around [f] only when an export was asked
-   for, so the default path keeps the bare (un-instrumented) hot loops. *)
+   for, so the default path keeps the bare (un-instrumented) hot loops.
+   Exports are stamped with the build/config identity so telemetry
+   consumers can refuse apples-to-oranges comparisons; the stamp is taken
+   after [f] so it sees the same ambient context the run keyed under. *)
 let with_obs trace metrics f =
   match (trace, metrics) with
   | None, None -> f ()
@@ -121,45 +136,61 @@ let with_obs trace metrics f =
       let obs = Obs.create () in
       Obs.install obs;
       Fun.protect ~finally:Obs.uninstall f;
-      Option.iter (Obs.write_trace obs) trace;
-      Option.iter (Obs.write_metrics obs) metrics
+      Obs.set_identity (Some (Satin.Summary.identity ()));
+      Fun.protect
+        ~finally:(fun () -> Obs.set_identity None)
+        (fun () ->
+          Option.iter (Obs.write_trace obs) trace;
+          Option.iter (Obs.write_metrics obs) metrics)
+
+(* Live heartbeats around [f]; the final summary heartbeat is emitted even
+   when [f] raises, so an interrupted campaign still reports its tally. *)
+let with_progress progress f =
+  if not progress then f ()
+  else begin
+    Progress.install ();
+    Fun.protect ~finally:Progress.finish f
+  end
 
 let simple name doc f =
-  let run seed jobs trace metrics check store no_store =
+  let run seed jobs trace metrics check store no_store progress =
     let pool = Runner.create ~jobs () in
-    with_check check (fun () ->
-        with_store store no_store (fun () ->
-            with_obs trace metrics (fun () -> f pool seed)))
+    with_progress progress (fun () ->
+        with_check check (fun () ->
+            with_store store no_store (fun () ->
+                with_obs trace metrics (fun () -> f pool seed))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ check_arg
-      $ store_arg $ no_store_arg)
+      $ store_arg $ no_store_arg $ progress_arg)
 
 (* Like [simple] but with the [--quick] flag. *)
 let campaign name doc f =
-  let run seed quick jobs trace metrics check store no_store =
+  let run seed quick jobs trace metrics check store no_store progress =
     let pool = Runner.create ~jobs () in
-    with_check check (fun () ->
-        with_store store no_store (fun () ->
-            with_obs trace metrics (fun () -> f pool seed quick)))
+    with_progress progress (fun () ->
+        with_check check (fun () ->
+            with_store store no_store (fun () ->
+                with_obs trace metrics (fun () -> f pool seed quick))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ jobs_arg $ trace_arg $ metrics_arg
-      $ check_arg $ store_arg $ no_store_arg)
+      $ check_arg $ store_arg $ no_store_arg $ progress_arg)
 
 (* Closed-form commands: no seed, but still accept the export flags (and
    the store flags, which they harmlessly ignore — nothing to memoize). *)
 let closed_form name doc f =
-  let run trace metrics check store no_store =
-    with_check check (fun () ->
-        with_store store no_store (fun () -> with_obs trace metrics f))
+  let run trace metrics check store no_store progress =
+    with_progress progress (fun () ->
+        with_check check (fun () ->
+            with_store store no_store (fun () -> with_obs trace metrics f)))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ trace_arg $ metrics_arg $ check_arg $ store_arg
-      $ no_store_arg)
+      $ no_store_arg $ progress_arg)
 
 let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
     (fun pool seed -> E.print_e1 fmt (E.run_e1 ~pool ~seed ()))
@@ -352,7 +383,8 @@ let campaign_cmd =
     let doc = "Comma-separated PRNG seeds; the sweep runs every experiment at every seed." in
     Arg.(value & opt (list int) [ 42 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
   in
-  let run experiments seeds quick jobs trace metrics check store no_store =
+  let run experiments seeds quick jobs trace metrics check store no_store
+      progress =
     (match
        List.filter
          (fun n -> not (List.mem_assoc n campaign_experiments))
@@ -369,23 +401,178 @@ let campaign_cmd =
       exit 2
     end;
     let pool = Runner.create ~jobs () in
-    with_check check (fun () ->
-        with_store store no_store (fun () ->
-            with_obs trace metrics (fun () ->
-                List.iter
-                  (fun seed ->
+    with_progress progress (fun () ->
+        with_check check (fun () ->
+            with_store store no_store (fun () ->
+                with_obs trace metrics (fun () ->
                     List.iter
-                      (fun name ->
-                        Format.fprintf fmt "==== campaign: %s seed=%d ====@."
-                          name seed;
-                        (List.assoc name campaign_experiments) pool seed quick)
-                      experiments)
-                  seeds)))
+                      (fun seed ->
+                        List.iter
+                          (fun name ->
+                            Format.fprintf fmt
+                              "==== campaign: %s seed=%d ====@." name seed;
+                            Progress.set_label
+                              (Printf.sprintf "%s seed=%d" name seed);
+                            (List.assoc name campaign_experiments) pool seed
+                              quick)
+                          experiments)
+                      seeds))))
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ experiments_arg $ seeds_arg $ quick_arg $ jobs_arg
-      $ trace_arg $ metrics_arg $ check_arg $ store_arg $ no_store_arg)
+      $ trace_arg $ metrics_arg $ check_arg $ store_arg $ no_store_arg
+      $ progress_arg)
+
+(* ---- telemetry: aggregate capsules, export, gate ---- *)
+
+let read_json_file path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error e ->
+      Printf.eprintf "telemetry: %s\n" e;
+      exit 2
+  in
+  match Json.parse contents with
+  | Ok j -> j
+  | Error e ->
+      Printf.eprintf "telemetry: %s: %s\n" path e;
+      exit 2
+
+let write_string path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let telemetry_store_dir store =
+  match resolve_store store false with
+  | Some dir -> dir
+  | None ->
+      prerr_endline
+        "telemetry: no store to aggregate; pass --store DIR or set \
+         $SATIN_STORE";
+      exit 2
+
+let telemetry_collect store fingerprint =
+  let dir = telemetry_store_dir store in
+  match Telemetry.collect ?fingerprint (Store.open_ dir) with
+  | Ok r -> r
+  | Error e ->
+      Printf.eprintf "telemetry: %s\n" e;
+      exit 2
+
+let fingerprint_arg =
+  let doc =
+    "Aggregate only capsules produced by the build with this fingerprint \
+     (see the fingerprint subcommand). Required when the store mixes \
+     capsules from several builds."
+  in
+  Arg.(value & opt (some string) None & info [ "fingerprint" ] ~docv:"HEX" ~doc)
+
+let telemetry_report_cmd =
+  let doc =
+    "Aggregate the store's metric capsules into per-experiment percentile \
+     tables (exact merges — identical at any --jobs width, warm or cold), \
+     optionally exporting JSON and OpenMetrics text."
+  in
+  let json_arg =
+    let doc = "Write the report as JSON (satin-telemetry/v1) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let om_arg =
+    let doc = "Write the report as OpenMetrics text to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+  in
+  let run store fingerprint json_out om_out =
+    let r = telemetry_collect store fingerprint in
+    Telemetry.print_table fmt r;
+    Option.iter
+      (fun p -> write_string p (Json.to_string (Telemetry.to_json r) ^ "\n"))
+      json_out;
+    Option.iter (fun p -> write_string p (Telemetry.to_openmetrics r)) om_out
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ store_arg $ fingerprint_arg $ json_arg $ om_arg)
+
+let telemetry_gate_cmd =
+  let doc =
+    "Compare a current telemetry (or bench) JSON document against a \
+     committed baseline and exit nonzero when any tracked series regresses \
+     beyond the threshold. Documents describing different campaign \
+     compositions (identity.config_hash mismatch) are refused."
+  in
+  let baseline_arg =
+    let doc = "Baseline JSON document (e.g. BASELINE_telemetry.json)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let current_arg =
+    let doc =
+      "Current JSON document to check. Defaults to aggregating the store \
+       (--store/\\$SATIN_STORE) into a fresh telemetry report."
+    in
+    Arg.(value & opt (some string) None & info [ "current" ] ~docv:"FILE" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Relative regression threshold (0.10 = 10%)." in
+    Arg.(
+      value
+      & opt float Telemetry.gate_threshold_default
+      & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+  in
+  let run baseline current store fingerprint threshold =
+    let baseline = read_json_file baseline in
+    let current =
+      match current with
+      | Some path -> read_json_file path
+      | None -> Telemetry.to_json (telemetry_collect store fingerprint)
+    in
+    match Telemetry.gate ~threshold ~baseline ~current () with
+    | Error e ->
+        Printf.eprintf "telemetry gate: %s\n" e;
+        exit 2
+    | Ok g ->
+        List.iter
+          (Printf.eprintf "telemetry gate: note: baseline path %s missing from current\n")
+          g.Telemetry.missing;
+        if g.Telemetry.regressions <> [] then begin
+          Printf.eprintf
+            "telemetry gate: FAIL — %d regression(s) beyond %.0f%% across %d \
+             tracked series\n"
+            (List.length g.Telemetry.regressions)
+            (threshold *. 100.0) g.Telemetry.compared;
+          List.iter
+            (fun (path, b, c) ->
+              Printf.eprintf "  %s: baseline %.6g -> current %.6g\n" path b c)
+            g.Telemetry.regressions;
+          exit 1
+        end
+        else
+          Printf.eprintf
+            "telemetry gate: PASS — %d tracked series within %.0f%% of \
+             baseline\n"
+            g.Telemetry.compared (threshold *. 100.0)
+  in
+  Cmd.v (Cmd.info "gate" ~doc)
+    Term.(
+      const run $ baseline_arg $ current_arg $ store_arg $ fingerprint_arg
+      $ threshold_arg)
+
+let telemetry_cmd =
+  let doc =
+    "Aggregate persisted per-trial metric capsules into campaign telemetry: \
+     percentile tables, JSON/OpenMetrics exports, and regression gating."
+  in
+  Cmd.group (Cmd.info "telemetry" ~doc)
+    [ telemetry_report_cmd; telemetry_gate_cmd ]
 
 let main =
   let doc = "SATIN (DSN 2019) reproduction: experiments on the simulated Juno r1" in
@@ -393,7 +580,7 @@ let main =
     [
       e1; table1; e3; uprober; table2; fig4; e6; race; timeline; evasion;
       areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; inject;
-      degrade; all; fingerprint; campaign_cmd;
+      degrade; all; fingerprint; campaign_cmd; telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval main)

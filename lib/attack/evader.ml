@@ -65,7 +65,7 @@ let on_suspect t (det : Kprober.detection) =
     Rootkit.start_hide t.rootkit
       ~on_hidden:(fun () ->
         let reaction = Sim_time.to_sec_f (Sim_time.diff (now t) entry) in
-        if Obs.enabled () then begin
+        if Obs.active () then begin
           Obs.incr "evader.hides";
           Obs.observe "evader.hide_latency" reaction;
           Obs.instant ~time:(now t) ~track:t.config.cleanup_core ~cat:"attack"

@@ -71,7 +71,7 @@ let compare_pass t ~reader =
               { det_core = target; det_time = now t; det_lateness = lateness }
             in
             t.detections <- det :: t.detections;
-            if Obs.enabled () then begin
+            if Obs.active () then begin
               Obs.incr "kprober.suspects";
               Obs.instant ~time:det.det_time ~track:target ~cat:"attack"
                 ~args:[ ("lateness_s", Satin_obs.Json.float lateness) ]
@@ -92,7 +92,7 @@ let next_boundary t =
   Sim_time.until_next_multiple ~period:t.config.period (now t)
 
 let note_probe t ~core =
-  if Obs.enabled () then begin
+  if Obs.active () then begin
     let instant = now t in
     (match t.last_probe.(core) with
     | Some prev ->

@@ -20,16 +20,17 @@ let secure_size = 1024 * 1024
 let create ?(seed = 42) ?cycle ?layout ?(algo = Satin_introspect.Hash.Djb2)
     ?(style = Satin_introspect.Checker.Direct_hash) () =
   let platform = Platform.juno_r1 ~seed ?cycle () in
-  if Obs.enabled () then begin
-    Obs.attach_engine platform.Platform.engine;
+  (* The engine observer feeds the global sink and/or the current domain's
+     capsule capture; track naming is a sink-only (tracing) concern. *)
+  if Obs.enabled () || Obs.capturing () then Obs.attach_engine platform.Platform.engine;
+  if Obs.enabled () then
     Array.iter
       (fun cpu ->
         Obs.name_track (Satin_hw.Cpu.id cpu)
           (Printf.sprintf "core %d (%s)" (Satin_hw.Cpu.id cpu)
              (Satin_hw.Cycle_model.core_type_to_string
                 (Satin_hw.Cpu.core_type cpu))))
-      platform.Platform.cores
-  end;
+      platform.Platform.cores;
   let kernel = Satin_kernel.Kernel.boot ?layout platform in
   let tsp = Satin_tz.Tsp.install platform in
   let secure_memory =

@@ -2,6 +2,17 @@ module Json = Satin_obs.Json
 module Stats = Satin_engine.Stats
 module Cycle_model = Satin_hw.Cycle_model
 
+let identity () =
+  Json.Obj
+    [
+      ("fingerprint", Json.String (Satin_store.Fingerprint.hex ()));
+      ( "config_hash",
+        Json.String
+          (Digest.to_hex
+             (Digest.string
+                (Satin_store.Key.canonical (Satin_store.Key.ambient ())))) );
+    ]
+
 let stats (s : Stats.t) : Json.t =
   if Stats.is_empty s then Json.Obj [ ("count", Json.Int 0) ]
   else

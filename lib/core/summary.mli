@@ -8,6 +8,13 @@
 
 module Json = Satin_obs.Json
 
+val identity : unit -> Json.t
+(** [{"fingerprint": ..., "config_hash": ...}] — the producing binary's
+    {!Satin_store.Fingerprint} and a digest of the ambient key context.
+    Embedded into bench [--json] documents and (via
+    {!Satin_obs.Obs.set_identity}) metrics exports, so telemetry consumers
+    can refuse to compare documents from different campaign setups. *)
+
 val stats : Satin_engine.Stats.t -> Json.t
 (** [Null]-safe: an empty sample set renders as [{"count": 0}]. *)
 

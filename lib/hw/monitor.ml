@@ -37,7 +37,7 @@ let enter_secure t ~cpu ~payload ?on_exit () =
     invalid_arg
       (Printf.sprintf "Monitor.enter_secure: core %d already secure" (Cpu.id cpu));
   let entry_cost = sample_switch t ~cpu in
-  if Obs.enabled () then begin
+  if Obs.active () then begin
     let core = Cpu.id cpu in
     Obs.incr "monitor.smc_calls" ~labels:[ ("core", string_of_int core) ];
     Obs.observe_time "monitor.switch_entry_cost" entry_cost;
@@ -56,7 +56,7 @@ let enter_secure t ~cpu ~payload ?on_exit () =
               (fun () ->
                 Cpu.set_world cpu World.Normal;
                 t.switches <- t.switches + 1;
-                if Obs.enabled () then begin
+                if Obs.active () then begin
                   Obs.span_end ~time:(Engine.now t.engine) ~track:(Cpu.id cpu);
                   Obs.incr "monitor.world_switches"
                 end;

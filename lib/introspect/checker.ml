@@ -159,7 +159,7 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
           (Printf.sprintf "Checker.start_scan: range (%#x,%d) not enrolled" base len)
   in
   t.scans <- t.scans + 1;
-  if Obs.enabled () then begin
+  if Obs.active () then begin
     Obs.incr "checker.scans";
     Obs.observe "checker.scan_bytes" (float_of_int len)
   end;

@@ -151,7 +151,7 @@ let handle t ~core =
         ~payload:(fun () ->
           let area = next_area t in
           let scan_started = Engine.now engine in
-          if Obs.enabled () then
+          if Obs.active () then
             Obs.span_begin ~time:scan_started ~track:core ~cat:"introspect"
               ~args:
                 [
@@ -177,7 +177,7 @@ let handle t ~core =
                     verdict;
                   }
                 in
-                if Obs.enabled () then begin
+                if Obs.active () then begin
                   Obs.span_end ~time:(Engine.now engine) ~track:core;
                   Obs.incr "satin.rounds";
                   Obs.observe_time "satin.check_duration"
@@ -186,7 +186,7 @@ let handle t ~core =
                 end;
                 if verdict.Checker.v_tampered then begin
                   t.detections <- t.detections + 1;
-                  if Obs.enabled () then begin
+                  if Obs.active () then begin
                     Obs.incr "satin.detections";
                     Obs.instant ~time:(Engine.now engine) ~track:core
                       ~cat:"alarm"

@@ -117,7 +117,7 @@ let rec dispatch ?(fuel = 64) t cs =
         Task.set_state task Task.Running;
         Task.incr_dispatches task;
         t.switches <- t.switches + 1;
-        if Obs.enabled () then begin
+        if Obs.active () then begin
           Obs.incr "sched.dispatches";
           match Task.policy task, Hashtbl.find_opt t.rt_enqueued (Task.id task) with
           | Task.Rt_fifo _, Some enq ->
@@ -241,7 +241,7 @@ and preempt t cs =
       (match Task.policy r.r_task with
       | Task.Rt_fifo _ -> insert_rt cs r.r_task ~front:true
       | Task.Cfs -> insert_cfs cs r.r_task);
-      if Obs.enabled () then
+      if Obs.active () then
         Obs.incr "sched.preemptions"
           ~labels:[ ("core", string_of_int (Cpu.id cs.cpu)) ];
       cs.cur <- None
@@ -297,7 +297,7 @@ and enqueue t core task =
   let cs = t.cores.(core) in
   (match Task.policy task with
   | Task.Rt_fifo _ ->
-      if Obs.enabled () then
+      if Obs.active () then
         Hashtbl.replace t.rt_enqueued (Task.id task) (Engine.now t.engine);
       insert_rt cs task ~front:false
   | Task.Cfs ->

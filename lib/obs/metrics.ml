@@ -85,6 +85,27 @@ let gauge_value t ?(labels = []) name =
 let histogram_stats t ?(labels = []) name =
   match lookup t name labels with Some (Histogram s) -> Some s | _ -> None
 
+type view =
+  [ `Counter of int | `Gauge of float | `Histogram of Stats.t ]
+
+let iter_sorted t f =
+  let entries =
+    Hashtbl.fold (fun (name, labels) s acc -> (name, labels, s) :: acc) t.table []
+  in
+  let entries =
+    List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2)) entries
+  in
+  List.iter
+    (fun (name, labels, s) ->
+      let view =
+        match s with
+        | Counter r -> `Counter !r
+        | Gauge r -> `Gauge !r
+        | Histogram st -> `Histogram st
+      in
+      f name labels view)
+    entries
+
 (* ---- snapshots ---- *)
 
 let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)

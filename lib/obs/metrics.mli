@@ -42,6 +42,14 @@ val counter_value : t -> ?labels:labels -> string -> int option
 val gauge_value : t -> ?labels:labels -> string -> float option
 val histogram_stats : t -> ?labels:labels -> string -> Satin_engine.Stats.t option
 
+type view =
+  [ `Counter of int | `Gauge of float | `Histogram of Satin_engine.Stats.t ]
+
+val iter_sorted : t -> (string -> labels -> view -> unit) -> unit
+(** Visit every series in canonical order (name, then labels) with its
+    current value — the extraction point for metric capsules, which must
+    serialize equal registries byte-identically. *)
+
 val snapshot : t -> at:Satin_engine.Sim_time.t -> Json.t
 (** The full registry state as JSON, stamped with [at] (seconds of
     simulated time). Series are sorted by name then labels, so equal

@@ -35,6 +35,32 @@ val uninstall : unit -> unit
 val current : unit -> t option
 val enabled : unit -> bool
 
+(** {1 Per-domain capture}
+
+    Capsule capture runs {e beside} the global sink: [with_capture] gives
+    the calling domain a private registry that every metrics hook also
+    writes to for the duration of [f]. Capture is per-domain state
+    (Domain.DLS), so concurrent trials on worker domains each seal their
+    own registry; captures nest (the innermost wins) and never touch the
+    global sink, tracing, or wall-clock series. With no capture active
+    anywhere, the added hook cost is one atomic load. *)
+
+val with_capture : (unit -> 'a) -> Metrics.t * 'a
+(** Run [f] with a fresh capture registry on the current domain; return
+    that registry (sealed — no further hooks write to it) with [f]'s
+    result. The previous capture, if any, is restored even on raise. *)
+
+val capturing : unit -> bool
+(** Whether the {e current domain} is inside {!with_capture}. Scenario
+    construction uses this to attach engine observers for capture-only
+    runs. *)
+
+val active : unit -> bool
+(** [enabled () || capturing ()] — the guard for instrumentation sites
+    that build metric samples: a site skipped when only the sink is absent
+    would leave capture-only runs (store-backed campaigns) with empty
+    capsules. Tracing-only sites may keep guarding on {!enabled}. *)
+
 (** {1 Hook entry points (no-ops when no sink is installed)} *)
 
 val incr : ?labels:Metrics.labels -> ?by:int -> string -> unit
@@ -70,10 +96,20 @@ val name_track : int -> string -> unit
 val attach_engine : Satin_engine.Engine.t -> unit
 (** Register the engine-level observer: every fired event bumps the
     ["engine.events_fired"] counter and updates the ["engine.queue_depth"]
-    gauge. A no-op (and no observer is installed) when no sink is current,
-    so an un-instrumented run keeps the engine's bare step loop. *)
+    gauge — in the sink, the current domain's capture registry, or both.
+    A no-op (and no observer is installed) when neither is active, so an
+    un-instrumented run keeps the engine's bare step loop. *)
 
 (** {1 Exports} *)
+
+val set_identity : Json.t option -> unit
+(** Install the build/config identity object (see [Summary.identity])
+    embedded into {!metrics_json} and {!wall_metrics_json} so exported
+    snapshots carry the producing binary's fingerprint and config hash —
+    telemetry consumers use it to refuse apples-to-oranges comparisons.
+    [None] (the default) omits the field. *)
+
+val identity : unit -> Json.t option
 
 val horizon : t -> Satin_engine.Sim_time.t
 (** Latest simulated instant any hook reported — the stamp used for the

@@ -1,0 +1,126 @@
+type state = {
+  mutex : Mutex.t;
+  out : out_channel;
+  min_interval : float;
+  started : float;
+  mutable label : string;
+  mutable total : int;
+  mutable finished : int;
+  mutable hits : int;
+  mutable capsules : int;
+  mutable last_emit : float;
+  series : (string, Histogram.t) Hashtbl.t;
+}
+
+let current : state option ref = ref None
+let installed = Atomic.make false
+
+let install ?(out = stderr) ?(min_interval = 0.5) () =
+  let now = Unix.gettimeofday () in
+  current :=
+    Some
+      {
+        mutex = Mutex.create ();
+        out;
+        min_interval;
+        started = now;
+        label = "";
+        total = 0;
+        finished = 0;
+        hits = 0;
+        capsules = 0;
+        last_emit = 0.0;
+        series = Hashtbl.create 16;
+      };
+  Atomic.set installed true
+
+let uninstall () =
+  Atomic.set installed false;
+  current := None
+
+let enabled () = Atomic.get installed
+
+let with_state f =
+  if Atomic.get installed then
+    match !current with
+    | None -> ()
+    | Some s ->
+        Mutex.lock s.mutex;
+        Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) (fun () -> f s)
+
+(* The latency series worth quoting live, most interesting first. *)
+let headline_series =
+  [
+    "satin.check_duration";
+    "sched.rt_dispatch_latency";
+    "evader.hide_latency";
+    "monitor.switch_entry_cost";
+  ]
+
+let emit ?(force = false) s =
+  let now = Unix.gettimeofday () in
+  if force || now -. s.last_emit >= s.min_interval then begin
+    s.last_emit <- now;
+    let elapsed = now -. s.started in
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "progress:";
+    if s.label <> "" then Buffer.add_string buf (Printf.sprintf " [%s]" s.label);
+    Buffer.add_string buf (Printf.sprintf " %d/%d trials" s.finished s.total);
+    if s.finished > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf ", %d warm (%.0f%% hit)" s.hits
+           (100.0 *. float_of_int s.hits /. float_of_int s.finished));
+    (if s.finished > 0 && s.finished < s.total && elapsed > 0.0 then
+       let rate = float_of_int s.finished /. elapsed in
+       if rate > 0.0 then
+         Buffer.add_string buf
+           (Printf.sprintf ", eta %.1fs" (float_of_int (s.total - s.finished) /. rate)));
+    let quoted = ref 0 in
+    List.iter
+      (fun name ->
+        if !quoted < 2 then
+          match Hashtbl.find_opt s.series name with
+          | Some h when not (Histogram.is_empty h) ->
+              incr quoted;
+              Buffer.add_string buf
+                (Printf.sprintf ", p50 %s=%.3g" name (Histogram.quantile h 0.5))
+          | _ -> ())
+      headline_series;
+    Buffer.add_string buf "\n";
+    output_string s.out (Buffer.contents buf);
+    flush s.out
+  end
+
+let set_label label =
+  with_state (fun s ->
+      s.label <- label;
+      emit s)
+
+let batch_start n =
+  with_state (fun s -> s.total <- s.total + n)
+
+let trial_done ~hit =
+  with_state (fun s ->
+      s.finished <- s.finished + 1;
+      if hit then s.hits <- s.hits + 1;
+      emit s)
+
+let observe_capsule (c : Capsule.t) =
+  with_state (fun s ->
+      s.capsules <- s.capsules + 1;
+      List.iter
+        (fun (name, _labels, series) ->
+          match series with
+          | Capsule.Histogram h ->
+              let merged =
+                match Hashtbl.find_opt s.series name with
+                | Some prev -> Histogram.merge prev h
+                | None -> h
+              in
+              Hashtbl.replace s.series name merged
+          | Capsule.Counter _ | Capsule.Gauge _ -> ())
+        c.Capsule.series)
+
+let finish () =
+  with_state (fun s -> emit ~force:true s);
+  uninstall ()

@@ -1,0 +1,45 @@
+(** Live campaign heartbeats on stderr.
+
+    Off by default: nothing is installed, every hook is a single load of an
+    [Atomic.t] and returns, and runs stay byte-stable on stdout and in every
+    export. The CLI's [--progress] flag installs a reporter around a
+    campaign; the runner and the memo layer then feed it trial completions
+    (warm or cold) and sealed {!Capsule.t}s, and it prints a rate-limited
+    one-line heartbeat — trials done/total, store hit rate, ETA from host
+    wall-clock, and current p50s of the most interesting latency series
+    merged live from the capsules.
+
+    Heartbeats go to stderr only and are inherently nondeterministic (they
+    quote wall-clock rates); they must never be parsed. All entry points
+    are safe to call from worker domains: state is guarded by a mutex, and
+    the emit path is rate-limited so contention stays negligible. *)
+
+val install : ?out:out_channel -> ?min_interval:float -> unit -> unit
+(** Start reporting. [out] defaults to [stderr]; [min_interval] (seconds of
+    host wall-clock between heartbeats) defaults to [0.5]. Resets all
+    counters. *)
+
+val uninstall : unit -> unit
+(** Stop reporting without a final line (e.g. on error paths). *)
+
+val enabled : unit -> bool
+
+val set_label : string -> unit
+(** Name the phase being run (e.g. the current experiment id); quoted in
+    heartbeats. *)
+
+val batch_start : int -> unit
+(** Announce [n] more trials to run; extends the denominator and the ETA
+    basis. *)
+
+val trial_done : hit:bool -> unit
+(** One trial finished; [hit] when it was resolved from the store without
+    recomputation. *)
+
+val observe_capsule : Capsule.t -> unit
+(** Merge a sealed trial capsule into the live aggregate, so heartbeats can
+    quote current p50s. Cheap: only histogram series are merged. *)
+
+val finish : unit -> unit
+(** Emit a final summary heartbeat (ignoring the rate limit) and
+    uninstall. *)

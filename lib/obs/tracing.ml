@@ -23,7 +23,9 @@ type payload = {
 type t = {
   buf : payload Trace.t;
   track_names : (int, string) Hashtbl.t;
-  open_spans : (int, string list) Hashtbl.t; (* per-track begin stack *)
+  open_spans : (int, int * string list) Hashtbl.t;
+      (* per-track (owner domain, begin stack); ownership transfers only
+         when the stack is empty *)
 }
 
 let create () =
@@ -31,18 +33,43 @@ let create () =
 
 let push t ~time p = Trace.record t.buf time p
 
+let self_id () = (Domain.self () :> int)
+
+let cross_domain_error ~what ~track ~owner ~me ~open_count =
+  invalid_arg
+    (Printf.sprintf
+       "Tracing.%s: track %d has %d open span(s) begun on domain %d, but the \
+        current domain is %d; a track is a single-domain lane while spans are \
+        open (begin/end pairs from two domains would interleave into a \
+        corrupt nesting)"
+       what track open_count owner me)
+
 let begin_span t ~time ~track ?(cat = "") ?(args = []) name =
-  Hashtbl.replace t.open_spans track
-    (name :: (try Hashtbl.find t.open_spans track with Not_found -> []));
+  let me = self_id () in
+  let stack =
+    match Hashtbl.find_opt t.open_spans track with
+    | Some (owner, (_ :: _ as stack)) ->
+        if owner <> me then
+          cross_domain_error ~what:"begin_span" ~track ~owner ~me
+            ~open_count:(List.length stack);
+        stack
+    | Some (_, []) | None -> []
+  in
+  Hashtbl.replace t.open_spans track (me, name :: stack);
   push t ~time { p_ph = Begin; p_track = track; p_name = name; p_cat = cat; p_args = args }
 
 let end_span t ~time ~track =
+  let me = self_id () in
   let name, rest =
     match Hashtbl.find_opt t.open_spans track with
-    | Some (n :: rest) -> (n, rest)
-    | Some [] | None -> ("", [])
+    | Some (owner, (n :: rest)) ->
+        if owner <> me then
+          cross_domain_error ~what:"end_span" ~track ~owner ~me
+            ~open_count:(List.length rest + 1);
+        (n, rest)
+    | Some (_, []) | None -> ("", [])
   in
-  Hashtbl.replace t.open_spans track rest;
+  Hashtbl.replace t.open_spans track (me, rest);
   push t ~time { p_ph = End; p_track = track; p_name = name; p_cat = ""; p_args = [] }
 
 let instant t ~time ~track ?(cat = "") ?(args = []) name =

@@ -9,7 +9,20 @@
 
     Spans on one track must nest properly (the begun-last span ends first),
     which the instrumentation sites guarantee by construction: an area
-    check lives strictly inside its world-switch span. *)
+    check lives strictly inside its world-switch span.
+
+    {2 Per-domain track contract}
+
+    A track is a {e single-domain lane while spans are open on it}: the
+    domain that begins a span owns the track until its begin stack drains,
+    and only then may another domain take it over. Under [--jobs N] the
+    runner's worker domains must therefore use disjoint track ids (e.g.
+    derived from the domain slot, as the memo layer's store track does) —
+    two domains interleaving begin/end pairs on one track would serialize
+    into a corrupt nesting that renders as garbage. {!begin_span} and
+    {!end_span} enforce this: a call on a track whose open spans were begun
+    by a different domain raises [Invalid_argument] instead of silently
+    interleaving. *)
 
 type phase = Begin | End | Instant
 
@@ -36,7 +49,9 @@ val begin_span :
   unit
 
 val end_span : t -> time:Satin_engine.Sim_time.t -> track:int -> unit
-(** Ends the most recently begun span on [track]. *)
+(** Ends the most recently begun span on [track]. Raises
+    [Invalid_argument] if that span was begun on a different domain (see
+    the per-domain track contract above). *)
 
 val instant :
   t ->

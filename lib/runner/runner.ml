@@ -1,4 +1,5 @@
 module Obs = Satin_obs.Obs
+module Progress = Satin_obs.Progress
 
 type t = { jobs : int; effective_jobs : int; mutable last_wall_s : float }
 
@@ -33,10 +34,13 @@ type 'a cell =
   | Failed of exn * Printexc.raw_backtrace
 
 let run_trial f i =
-  try Done (f i)
-  with e ->
-    let bt = Printexc.get_raw_backtrace () in
-    Failed (e, bt)
+  match f i with
+  | v ->
+      Progress.trial_done ~hit:false;
+      Done v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Failed (e, bt)
 
 (* Submission-order collection: Array.map visits indices in order, so the
    lowest-indexed failure is the one re-raised. *)
@@ -75,6 +79,7 @@ let map pool n f =
      that is the whole point of the pool — just no overlap). *)
   let jobs = if Obs.enabled () then 1 else min pool.effective_jobs n in
   Obs.set_gauge "runner.queue_depth" (float_of_int n);
+  Progress.batch_start n;
   let wall0 = Unix.gettimeofday () in
   let results = Array.make n Pending in
   let executed =
@@ -142,7 +147,17 @@ let map_cached pool n ~lookup ?(on_computed = fun _ _ -> ()) f =
     if resolved.(i) = None then misses := i :: !misses
   done;
   let misses = Array.of_list !misses in
-  Obs.incr "runner.trials_resolved" ~by:(n - Array.length misses);
+  let resolved_count = n - Array.length misses in
+  Obs.incr "runner.trials_resolved" ~by:resolved_count;
+  (* Progress accounting split: this layer reports the warm trials, the
+     inner [map] reports the misses it actually runs — together exactly
+     [n], with no double count. *)
+  if Progress.enabled () && resolved_count > 0 then begin
+    Progress.batch_start resolved_count;
+    for _ = 1 to resolved_count do
+      Progress.trial_done ~hit:true
+    done
+  end;
   let computed =
     map pool (Array.length misses) (fun j ->
         let i = misses.(j) in

@@ -31,8 +31,7 @@ let escape_line s =
 let checksum ~experiment_line payload =
   Digest.to_hex (Digest.string (experiment_line ^ "\n" ^ payload))
 
-let encode ~experiment v =
-  let payload = Marshal.to_string v [] in
+let encode_raw ~experiment payload =
   let experiment_line = escape_line experiment in
   String.concat ""
     [
@@ -42,6 +41,8 @@ let encode ~experiment v =
       string_of_int (String.length payload); "\n";
       payload;
     ]
+
+let encode ~experiment v = encode_raw ~experiment (Marshal.to_string v [])
 
 (* [line s pos] is the substring up to the next '\n' and the position just
    past it, or None when no newline remains. *)
@@ -75,7 +76,7 @@ let header s =
 
 let experiment s = Result.map (fun (exp, _, _, _) -> exp) (header s)
 
-let decode s =
+let decode_raw s =
   match header s with
   | Error e -> Error e
   | Ok (exp, sum, len, pos) ->
@@ -84,6 +85,10 @@ let decode s =
         let payload = String.sub s pos len in
         if not (String.equal (checksum ~experiment_line:exp payload) sum) then
           Error Bad_checksum
-        else begin
-          try Ok (Marshal.from_string payload 0) with _ -> Error Garbled
-        end
+        else Ok (exp, payload)
+
+let decode s =
+  match decode_raw s with
+  | Error e -> Error e
+  | Ok (_, payload) -> (
+      try Ok (Marshal.from_string payload 0) with _ -> Error Garbled)

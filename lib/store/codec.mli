@@ -39,6 +39,17 @@ val decode : string -> ('a, error) result
     whenever the record was looked up by a {!Key} (same binary, same
     experiment, same config). *)
 
+val encode_raw : experiment:string -> string -> string
+(** Frame an arbitrary byte payload (no [Marshal]) in the same header +
+    checksum envelope. This is the envelope for metric capsules, whose
+    payloads are canonical JSON precisely so that — unlike {!encode}
+    records — any build can read them back. *)
+
+val decode_raw : string -> (string * string, error) result
+(** Verify a record and return [(experiment, payload)] without
+    interpreting the payload. Never returns {!Garbled} (payload semantics
+    are the caller's). *)
+
 val experiment : string -> (string, error) result
 (** The experiment id recorded in the header, without touching the
     payload (used for index rebuilds and diagnostics). *)

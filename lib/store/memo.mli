@@ -17,7 +17,21 @@
     When a tracing sink is installed, every lookup emits a span on the
     dedicated store track ([store.hit]/[store.miss], with the experiment,
     trial index, and key as args) — the cache's contribution to a trial
-    is visible in the Perfetto export next to the simulation lanes. *)
+    is visible in the Perfetto export next to the simulation lanes.
+
+    {2 Metric capsules}
+
+    With a store installed, every computed trial body runs inside
+    {!Satin_obs.Obs.with_capture}: its metrics registry is sealed into a
+    {!Satin_obs.Capsule.t} (stamped with the experiment, seed, trial
+    index, binary fingerprint, and the full config — ambient context under
+    its ["ctx:"] namespace) and persisted beside the result via
+    {!Store.add_capsule}, on whichever domain ran the trial. Warm hits
+    replay the persisted capsule instead of recomputing anything. The
+    [telemetry] subcommand aggregates these capsules; the live
+    {!Satin_obs.Progress} reporter, when installed, is fed every sealed or
+    replayed capsule (and captures even without a store, so heartbeats can
+    quote p50s on store-less runs). *)
 
 module Runner = Satin_runner.Runner
 

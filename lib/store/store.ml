@@ -10,6 +10,9 @@ type counters = {
   writes : int;
   evictions : int;
   corrupt : int;
+  capsule_hits : int;
+  capsule_misses : int;
+  capsule_writes : int;
 }
 
 type t = {
@@ -25,6 +28,9 @@ type t = {
   mutable writes : int;
   mutable evictions : int;
   mutable corrupt : int;
+  mutable capsule_hits : int;
+  mutable capsule_misses : int;
+  mutable capsule_writes : int;
 }
 
 let dir t = t.dir
@@ -41,6 +47,15 @@ let object_path t key =
 
 let quarantine_path t key =
   Filename.concat t.dir (Filename.concat "quarantine" (key ^ ".rec"))
+
+let capsule_path t key =
+  Filename.concat t.dir
+    (Filename.concat "capsules"
+       (Filename.concat (String.sub key 0 2)
+          (Filename.concat (String.sub key 2 2) (key ^ ".cap"))))
+
+let capsule_quarantine_path t key =
+  Filename.concat t.dir (Filename.concat "quarantine" (key ^ ".cap"))
 
 let index_path dir = Filename.concat dir "index.log"
 
@@ -95,6 +110,7 @@ let replay_index t =
 let open_ ?(max_bytes = 512 * 1024 * 1024) dir =
   if max_bytes <= 0 then invalid_arg "Store.open_: max_bytes must be positive";
   mkdir_p (Filename.concat dir "objects");
+  mkdir_p (Filename.concat dir "capsules");
   mkdir_p (Filename.concat dir "quarantine");
   let t =
     {
@@ -110,6 +126,9 @@ let open_ ?(max_bytes = 512 * 1024 * 1024) dir =
       writes = 0;
       evictions = 0;
       corrupt = 0;
+      capsule_hits = 0;
+      capsule_misses = 0;
+      capsule_writes = 0;
     }
   in
   replay_index t;
@@ -195,6 +214,9 @@ let enforce_bound t =
     if Hashtbl.mem t.live key then begin
       drop_live t key;
       (try Sys.remove (object_path t key) with Sys_error _ -> ());
+      (* The sidecar capsule rides on its record's lifetime: an evicted
+         trial will be recomputed (and its capsule re-sealed) anyway. *)
+      (try Sys.remove (capsule_path t key) with Sys_error _ -> ());
       append_index t (Printf.sprintf "- %s\n" key);
       t.evictions <- t.evictions + 1;
       Obs.incr "store.evictions"
@@ -219,6 +241,94 @@ let add t ~key ~experiment v =
       Obs.incr "store.writes";
       enforce_bound t)
 
+(* ---- capsules ----
+
+   Capsules are a sidecar area keyed like records but framed around raw
+   JSON payloads ([Codec.encode_raw]) so any build can read them back.
+   They are not journaled and not counted against [max_bytes]: the journal
+   and the bound govern trial results (the expensive thing to recompute);
+   a capsule is small and always regenerable by re-running its trial. *)
+
+let add_capsule t ~key ~experiment payload =
+  if not (is_hex_key key) then invalid_arg "Store.add_capsule: malformed key";
+  let record = Codec.encode_raw ~experiment payload in
+  Mutex.protect t.mutex (fun () ->
+      let path = capsule_path t key in
+      mkdir_p (Filename.dirname path);
+      write_file_atomic path record;
+      t.capsule_writes <- t.capsule_writes + 1;
+      Obs.incr "store.capsule_writes")
+
+let quarantine_capsule t key err =
+  let path = capsule_path t key in
+  (try Sys.rename path (capsule_quarantine_path t key)
+   with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ()));
+  t.corrupt <- t.corrupt + 1;
+  Obs.incr "store.corrupt";
+  Log.warn (fun m ->
+      m "quarantined capsule %s: %s" key (Codec.error_to_string err))
+
+let find_capsule t ~key =
+  Mutex.protect t.mutex (fun () ->
+      let miss () =
+        t.capsule_misses <- t.capsule_misses + 1;
+        Obs.incr "store.capsule_misses";
+        None
+      in
+      match read_file (capsule_path t key) with
+      | exception Sys_error _ -> miss ()
+      | raw -> (
+          match Codec.decode_raw raw with
+          | Ok (_, payload) ->
+              t.capsule_hits <- t.capsule_hits + 1;
+              Obs.incr "store.capsule_hits";
+              Some payload
+          | Error err ->
+              quarantine_capsule t key err;
+              miss ()))
+
+let fold_capsules t ~init ~f =
+  Mutex.protect t.mutex (fun () ->
+      let root = Filename.concat t.dir "capsules" in
+      let subdirs dir =
+        match Sys.readdir dir with
+        | exception Sys_error _ -> []
+        | entries ->
+            let l = Array.to_list entries in
+            List.sort String.compare l
+      in
+      (* Sorted at every level, so the fold order — and any report built
+         from it — is deterministic regardless of filesystem order. *)
+      List.fold_left
+        (fun acc d1 ->
+          let p1 = Filename.concat root d1 in
+          if not (Sys.is_directory p1) then acc
+          else
+            List.fold_left
+              (fun acc d2 ->
+                let p2 = Filename.concat p1 d2 in
+                if not (Sys.is_directory p2) then acc
+                else
+                  List.fold_left
+                    (fun acc file ->
+                      if not (Filename.check_suffix file ".cap") then acc
+                      else
+                        let key = Filename.chop_suffix file ".cap" in
+                        if not (is_hex_key key) then acc
+                        else
+                          match read_file (Filename.concat p2 file) with
+                          | exception Sys_error _ -> acc
+                          | raw -> (
+                              match Codec.decode_raw raw with
+                              | Ok (experiment, payload) ->
+                                  f acc ~key ~experiment payload
+                              | Error err ->
+                                  quarantine_capsule t key err;
+                                  acc))
+                    acc (subdirs p2))
+              acc (subdirs p1))
+        init (subdirs root))
+
 let counters t =
   Mutex.protect t.mutex (fun () ->
       {
@@ -227,6 +337,9 @@ let counters t =
         writes = t.writes;
         evictions = t.evictions;
         corrupt = t.corrupt;
+        capsule_hits = t.capsule_hits;
+        capsule_misses = t.capsule_misses;
+        capsule_writes = t.capsule_writes;
       })
 
 let live_records t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.live)
@@ -236,9 +349,10 @@ let summary_line t =
   let c = counters t in
   Printf.sprintf
     "store: %d hit(s), %d miss(es), %d write(s), %d evicted, %d corrupt; %d \
-     record(s), %d bytes live (%s)"
+     record(s), %d bytes live (%s); capsules: %d hit(s), %d miss(es), %d \
+     write(s)"
     c.hits c.misses c.writes c.evictions c.corrupt (live_records t)
-    (live_bytes t) t.dir
+    (live_bytes t) t.dir c.capsule_hits c.capsule_misses c.capsule_writes
 
 let ambient = ref None
 let install t = ambient := Some t

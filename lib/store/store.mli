@@ -4,7 +4,9 @@
 
     {v
     objects/ab/cd/<32-hex-key>.rec   records, two-level fan-out
+    capsules/ab/cd/<32-hex-key>.cap  metric capsules (sidecar, JSON payload)
     quarantine/<32-hex-key>.rec      records that failed verification
+    quarantine/<32-hex-key>.cap      capsules that failed verification
     index.log                        append-only journal of adds/evictions
     v}
 
@@ -54,12 +56,42 @@ val add : t -> key:string -> experiment:string -> 'a -> unit
     the size bound. Overwrites any existing record under [key] (necessarily
     with identical content). Safe to call from worker domains. *)
 
+(** {1 Metric capsules}
+
+    Capsules are a sidecar area under [capsules/], keyed exactly like
+    records but holding raw JSON payloads in the {!Codec.encode_raw}
+    envelope — readable by any build, which is the point: telemetry
+    aggregates capsules across campaign runs and binaries. A capsule rides
+    on its record's lifetime (evicting a record deletes its capsule) but is
+    neither journaled nor counted against [max_bytes]: capsules are small
+    and always regenerable by re-running the trial. Corrupt capsules are
+    quarantined to [quarantine/<key>.cap] and read as misses. *)
+
+val add_capsule : t -> key:string -> experiment:string -> string -> unit
+(** Persist one capsule payload (atomic write). Safe to call from worker
+    domains. Raises [Invalid_argument] on a malformed key. *)
+
+val find_capsule : t -> key:string -> string option
+(** The verified capsule payload stored under [key], or [None] on absence
+    or quarantine. *)
+
+val fold_capsules :
+  t -> init:'acc -> f:('acc -> key:string -> experiment:string -> string -> 'acc) -> 'acc
+(** Fold over every verified capsule in the store, in sorted key order —
+    deterministic regardless of filesystem enumeration order, so reports
+    built from a walk are byte-stable. Corrupt capsules encountered on the
+    way are quarantined and skipped. Holds the store mutex for the whole
+    walk: do not call {!add}/{!find} from [f]. *)
+
 type counters = {
   hits : int;
   misses : int;
   writes : int;
   evictions : int;
-  corrupt : int;
+  corrupt : int;  (** corrupt records {e and} corrupt capsules *)
+  capsule_hits : int;
+  capsule_misses : int;
+  capsule_writes : int;
 }
 
 val counters : t -> counters
@@ -69,9 +101,11 @@ val live_records : t -> int
 val live_bytes : t -> int
 
 val summary_line : t -> string
-(** One-line human summary ([store: H hits, M misses, ... (DIR)]) printed
-    by the CLI and bench to stderr — stderr so stdout reports stay
-    byte-identical between warm and cold runs. *)
+(** One-line human summary ([store: H hits, M misses, ... (DIR); capsules:
+    ...]) printed by the CLI and bench to stderr — stderr so stdout reports
+    stay byte-identical between warm and cold runs. Capsule counters are
+    appended after the directory so existing [store:]-prefix parsers keep
+    working. *)
 
 (** {1 The ambient store} *)
 

@@ -5,6 +5,8 @@ module Json = Satin_obs.Json
 module Metrics = Satin_obs.Metrics
 module Tracing = Satin_obs.Tracing
 module Obs = Satin_obs.Obs
+module Histogram = Satin_obs.Histogram
+module Capsule = Satin_obs.Capsule
 module Stats = Satin_engine.Stats
 module E = Satin.Experiment
 
@@ -171,6 +173,267 @@ let test_wall_metrics_segregated () =
   Alcotest.(check bool) "no wall metric in deterministic export" false
     (contains (Json.to_string (Obs.metrics_json a)) "batch_wall")
 
+(* ---- Json float codec ----
+
+   The emitter promises shortest round-trip numbers (with the "5." patch
+   for %g's bare-dot output); the parser returns Int for numbers without
+   a fraction or exponent. So the invariant is numeric, not syntactic:
+   whatever shape comes back must equal the emitted float exactly. *)
+
+let float_shape_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        float;
+        (* integral values: "%g" prints "5", which reparses as Int *)
+        map float_of_int int;
+        map Float.of_int small_signed_int;
+        (* spread across the exponent range, negatives included *)
+        map
+          (fun ((m, e), neg) ->
+            let v = Float.ldexp m e in
+            if neg then -.v else v)
+          (pair (pair (float_range 0.5 1.0) (int_range (-300) 300)) bool);
+      ])
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"Json.float round-trips numerically"
+    (QCheck.make ~print:string_of_float float_shape_gen)
+    (fun x ->
+      let s = Json.to_string (Json.List [ Json.float x ]) in
+      match Json.parse s with
+      | Ok (Json.List [ v ]) -> (
+          if Float.is_nan x || not (Float.is_finite x) then v = Json.Null
+          else
+            match v with
+            | Json.Int n -> float_of_int n = x
+            | Json.Float f -> f = x
+            | _ -> QCheck.Test.fail_reportf "non-number back from %s" s)
+      | Ok _ | Error _ -> QCheck.Test.fail_reportf "reparse failed: %s" s)
+
+let test_json_float_edges () =
+  let rt x =
+    let s = Json.to_string (Json.float x) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S has no bare trailing dot" s)
+      false
+      (String.length s > 0 && s.[String.length s - 1] = '.');
+    match Json.parse s with
+    | Ok (Json.Int n) ->
+        Alcotest.(check bool) (s ^ " numeric") true (float_of_int n = x)
+    | Ok (Json.Float f) -> Alcotest.(check bool) (s ^ " numeric") true (f = x)
+    | Ok _ | Error _ -> Alcotest.failf "bad reparse of %s" s
+  in
+  List.iter rt
+    [
+      5.0; -5.0; 0.5; -0.5; 1e6; 1e22; -1.5e-8; 123456789.25;
+      Float.max_float; -.Float.min_float; 0.0;
+    ];
+  Alcotest.(check string) "NaN becomes null" "null"
+    (Json.to_string (Json.float Float.nan));
+  Alcotest.(check string) "infinity becomes null" "null"
+    (Json.to_string (Json.float Float.infinity))
+
+(* ---- mergeable histograms ---- *)
+
+let hist_of_list l =
+  let t = Histogram.create () in
+  List.iter (Histogram.add t) l;
+  t
+
+let samples_arb =
+  let sample =
+    QCheck.Gen.(
+      oneof
+        [
+          float;
+          map float_of_int small_signed_int;
+          return 0.0;
+          map
+            (fun ((m, e), neg) ->
+              let v = Float.ldexp m e in
+              if neg then -.v else v)
+            (pair (pair (float_range 0.5 1.0) (int_range (-80) 80)) bool);
+        ])
+  in
+  QCheck.make
+    ~print:QCheck.Print.(list string_of_float)
+    QCheck.Gen.(
+      list_size (int_range 0 40)
+        (map (fun x -> if Float.is_nan x then 0.0 else x) sample))
+
+let prop_histogram_merge_laws =
+  QCheck.Test.make ~count:500
+    ~name:"histogram merge is commutative, associative, = concatenation"
+    QCheck.(triple samples_arb samples_arb samples_arb)
+    (fun (xs, ys, zs) ->
+      let a = hist_of_list xs and b = hist_of_list ys and c = hist_of_list zs in
+      Histogram.equal (Histogram.merge a b) (Histogram.merge b a)
+      && Histogram.equal
+           (Histogram.merge (Histogram.merge a b) c)
+           (Histogram.merge a (Histogram.merge b c))
+      && Histogram.equal (Histogram.merge a b) (hist_of_list (xs @ ys)))
+
+let prop_histogram_codec_and_bounds =
+  QCheck.Test.make ~count:500
+    ~name:"histogram codec round-trips; stats stay in [min, max]"
+    samples_arb
+    (fun xs ->
+      let t = hist_of_list xs in
+      let s = Json.to_string (Histogram.to_json t) in
+      match Result.bind (Json.parse s) Histogram.of_json with
+      | Error e -> QCheck.Test.fail_reportf "decode: %s" e
+      | Ok t' ->
+          Histogram.equal t t'
+          && Json.to_string (Histogram.to_json t') = s
+          && (Histogram.is_empty t
+             || begin
+                  let mn = Histogram.min t and mx = Histogram.max t in
+                  let inside v = mn <= v && v <= mx in
+                  inside (Histogram.mean t)
+                  && List.for_all
+                       (fun q -> inside (Histogram.quantile t q))
+                       [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+                end))
+
+let test_histogram_exact_extremes () =
+  let t = hist_of_list [ 4.0; 1.0; 9.5; -2.0; 0.0 ] in
+  Alcotest.(check int) "count" 5 (Histogram.count t);
+  Alcotest.(check (float 0.0)) "min exact" (-2.0) (Histogram.min t);
+  Alcotest.(check (float 0.0)) "max exact" 9.5 (Histogram.max t);
+  Alcotest.(check (float 0.0)) "q=0 is min" (-2.0) (Histogram.quantile t 0.0);
+  Alcotest.(check (float 0.0)) "q=1 is max" 9.5 (Histogram.quantile t 1.0);
+  (* single sample: every statistic collapses to it, clamp included *)
+  let one = hist_of_list [ 1.0 ] in
+  Alcotest.(check (float 0.0)) "singleton mean" 1.0 (Histogram.mean one);
+  Alcotest.(check (float 0.0)) "singleton p50" 1.0 (Histogram.quantile one 0.5);
+  Alcotest.check_raises "empty mean raises"
+    (Invalid_argument "Histogram.mean: empty histogram") (fun () ->
+      ignore (Histogram.mean (Histogram.create ())))
+
+(* ---- capsules ---- *)
+
+let test_capsule_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "sched.dispatches";
+  Metrics.incr m ~labels:[ ("core", "1") ] "kprober.suspects";
+  Metrics.set m "engine.queue_depth" 4.0;
+  List.iter (Metrics.observe m "checker.scan") [ 0.5; 1.25; 8.0 ];
+  let c =
+    Capsule.of_metrics ~experiment:"rt" ~seed:7 ~trial:2
+      ~fingerprint:(String.make 32 'a')
+      ~config:[ ("rounds", "50"); ("ctx:check", "1") ]
+      m
+  in
+  let s = Json.to_string (Capsule.to_json c) in
+  match Capsule.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok c2 ->
+      Alcotest.(check string) "canonical re-render byte-identical" s
+        (Json.to_string (Capsule.to_json c2));
+      Alcotest.(check string) "experiment survives" "rt" c2.Capsule.experiment;
+      Alcotest.(check int) "trial survives" 2 c2.Capsule.trial;
+      Alcotest.(check int) "seed survives" 7 c2.Capsule.seed;
+      Alcotest.(check int) "all series survive" 4
+        (List.length c2.Capsule.series);
+      (* config comes back sorted by field name *)
+      Alcotest.(check (list (pair string string)))
+        "config sorted"
+        [ ("ctx:check", "1"); ("rounds", "50") ]
+        c2.Capsule.config
+
+let test_capsule_rejects_duplicate_config () =
+  let m = Metrics.create () in
+  try
+    ignore
+      (Capsule.of_metrics ~experiment:"x" ~seed:0 ~trial:0 ~fingerprint:"f"
+         ~config:[ ("a", "1"); ("a", "2") ]
+         m);
+    Alcotest.fail "duplicate config field accepted"
+  with Invalid_argument _ -> ()
+
+let test_capsule_rejects_junk () =
+  (match Capsule.of_string "{\"schema\":\"satin-capsule/v9\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign schema accepted");
+  match Capsule.of_string "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+(* ---- per-domain capture ---- *)
+
+let test_with_capture () =
+  Alcotest.(check bool) "idle: not capturing" false (Obs.capturing ());
+  let outer, () =
+    Obs.with_capture (fun () ->
+        Alcotest.(check bool) "capturing inside" true (Obs.capturing ());
+        Alcotest.(check bool) "active without a sink" true (Obs.active ());
+        Obs.incr "c";
+        Obs.observe "h" 1.0;
+        (* nesting: the innermost capture wins for its extent *)
+        let inner, () = Obs.with_capture (fun () -> Obs.incr "c") in
+        Alcotest.(check (option int))
+          "inner saw only its own" (Some 1)
+          (Metrics.counter_value inner "c"))
+  in
+  Alcotest.(check (option int))
+    "outer missed the nested incr" (Some 1)
+    (Metrics.counter_value outer "c");
+  Alcotest.(check bool) "histogram captured" true
+    (Metrics.histogram_stats outer "h" <> None);
+  Alcotest.(check bool) "sealed afterwards" false (Obs.capturing ());
+  Alcotest.(check bool) "inactive afterwards" false (Obs.active ())
+
+let test_capture_is_per_domain () =
+  (* A capture on this domain must not leak samples from another domain,
+     and the other domain must not observe a capture it never opened. *)
+  let m, () =
+    Obs.with_capture (fun () ->
+        Obs.incr "mine";
+        let d =
+          Domain.spawn (fun () ->
+              let was_capturing = Obs.capturing () in
+              Obs.incr "theirs";
+              was_capturing)
+        in
+        Alcotest.(check bool)
+          "worker domain not capturing" false (Domain.join d))
+  in
+  Alcotest.(check (option int)) "own sample kept" (Some 1)
+    (Metrics.counter_value m "mine");
+  Alcotest.(check (option int)) "foreign sample excluded" None
+    (Metrics.counter_value m "theirs")
+
+(* ---- per-domain track ownership ---- *)
+
+let test_tracing_cross_domain_raises () =
+  let tr = Tracing.create () in
+  Tracing.begin_span tr ~time:0 ~track:5 "owner-span";
+  let intrude f =
+    Domain.join
+      (Domain.spawn (fun () ->
+           try
+             f ();
+             false
+           with Invalid_argument _ -> true))
+  in
+  Alcotest.(check bool) "foreign begin_span on open track raises" true
+    (intrude (fun () -> Tracing.begin_span tr ~time:1 ~track:5 "intruder"));
+  Alcotest.(check bool) "foreign end_span raises" true
+    (intrude (fun () -> Tracing.end_span tr ~time:2 ~track:5));
+  (* the owner is unaffected and can close normally *)
+  Tracing.end_span tr ~time:3 ~track:5;
+  (* with the stack empty, ownership transfers cleanly *)
+  let d =
+    Domain.spawn (fun () ->
+        try
+          Tracing.begin_span tr ~time:4 ~track:5 "new-owner";
+          Tracing.end_span tr ~time:5 ~track:5;
+          true
+        with Invalid_argument _ -> false)
+  in
+  Alcotest.(check bool) "empty track transfers ownership" true (Domain.join d)
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter;
@@ -186,5 +449,20 @@ let suite =
       test_end_span_pops_innermost;
     Alcotest.test_case "wall metrics segregated" `Quick
       test_wall_metrics_segregated;
+    QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
+    Alcotest.test_case "json float edge cases" `Quick test_json_float_edges;
+    QCheck_alcotest.to_alcotest prop_histogram_merge_laws;
+    QCheck_alcotest.to_alcotest prop_histogram_codec_and_bounds;
+    Alcotest.test_case "histogram exact extremes" `Quick
+      test_histogram_exact_extremes;
+    Alcotest.test_case "capsule round-trip" `Quick test_capsule_roundtrip;
+    Alcotest.test_case "capsule duplicate config rejected" `Quick
+      test_capsule_rejects_duplicate_config;
+    Alcotest.test_case "capsule rejects junk" `Quick test_capsule_rejects_junk;
+    Alcotest.test_case "with_capture scoping" `Quick test_with_capture;
+    Alcotest.test_case "capture is per-domain" `Quick
+      test_capture_is_per_domain;
+    Alcotest.test_case "tracing cross-domain guard" `Quick
+      test_tracing_cross_domain_raises;
     Alcotest.test_case "same-seed exports identical" `Slow test_determinism;
   ]
