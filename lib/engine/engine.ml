@@ -5,8 +5,11 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable fired : int;
   mutable observer : (time:Sim_time.t -> pending:int -> unit) option;
-  (* The drain callback handed to [Event_queue.pop_into], built once at
-     creation: [step] runs with zero allocation (DESIGN §10). *)
+  mutable batch_observer : (size:int -> cascades:int -> unit) option;
+  mutable cascades_seen : int;
+  (* The drain callback handed to [Event_queue.drain_batch], built once at
+     creation: [step]/[run_all]/[run_until] run with zero allocation
+     (DESIGN §10/§12). *)
   mutable dispatch : Sim_time.t -> (unit -> unit) -> unit;
 }
 
@@ -19,6 +22,8 @@ let create () =
       queue = Event_queue.create ();
       fired = 0;
       observer = None;
+      batch_observer = None;
+      cascades_seen = 0;
       dispatch = (fun _ _ -> ());
     }
   in
@@ -37,6 +42,7 @@ let pending t = Event_queue.length t.queue
 let events_fired t = t.fired
 let set_observer t obs = t.observer <- obs
 let observer t = t.observer
+let set_batch_observer t obs = t.batch_observer <- obs
 
 let at t ~time f =
   if time < t.clock then raise Schedule_in_past;
@@ -55,30 +61,46 @@ let every t ~period ?start f =
   in
   if first < t.clock then
     invalid_arg "Engine.every: ~start is in the past";
-  (* The cell must exist before the first occurrence's closure can re-arm
-     through it, and the first occurrence must exist to initialize the cell;
-     a lazy knot ties the two without pushing any throwaway entry. *)
-  let rec cell =
-    lazy (ref (arm first))
-  and arm time =
-    at t ~time (fun () ->
-        (* Re-arm first: the callback can then cancel !cell to stop the
-           recurrence (the .mli contract). *)
-        let cell = Lazy.force cell in
-        cell := arm (Sim_time.add (now t) period);
-        f ())
-  in
+  (* One body closure serves the whole recurrence: each occurrence re-arms
+     by pushing the same closure, so the steady state allocates only the
+     queue's payload cell (the words/event <= 2 periodic-timer contract) —
+     and the period stays within the wheel window, so every re-arm is an
+     O(1) wheel insert. The lazy knot ties the cell (which must exist
+     before the first occurrence can re-arm through it) to the first
+     occurrence (which initializes the cell) without a throwaway entry. *)
+  let rec body () =
+    (* Re-arm first: the callback can then cancel !cell to stop the
+       recurrence (the .mli contract). *)
+    let cell = Lazy.force cell in
+    cell := at t ~time:(Sim_time.add t.clock period) body;
+    f ()
+  and cell = lazy (ref (at t ~time:first body)) in
   Lazy.force cell
 
 let step t = Event_queue.pop_into t.queue t.dispatch
 
+(* Report one dispatched batch to the observability hook; a single match
+   when no hook is installed, so un-instrumented runs pay nothing. *)
+let[@inline] note_batch t size =
+  match t.batch_observer with
+  | None -> ()
+  | Some obs ->
+      let c = Event_queue.cascades t.queue in
+      obs ~size ~cascades:(c - t.cascades_seen);
+      t.cascades_seen <- c
+
 let run_until t stop =
   (* [peek_time_or] with a [max_int] sentinel keeps the bound check
-     allocation-free; [step] returning false (empty queue) terminates the
-     loop even for [stop = max_int]. *)
+     allocation-free; every batch shares one timestamp, so the bound only
+     needs checking between batches. *)
   let rec loop () =
-    if Event_queue.peek_time_or t.queue ~default:max_int <= stop && step t
-    then loop ()
+    if Event_queue.peek_time_or t.queue ~default:max_int <= stop then begin
+      let n = Event_queue.drain_batch t.queue ~max_events:max_int t.dispatch in
+      if n > 0 then begin
+        note_batch t n;
+        loop ()
+      end
+    end
   in
   loop ();
   if t.clock < stop then t.clock <- stop
@@ -88,8 +110,15 @@ type outcome = Drained | Limit_hit
 let run_all t ?(limit = 100_000_000) () =
   let rec loop n =
     if n >= limit then if pending t > 0 then Limit_hit else Drained
-    else if step t then loop (n + 1)
-    else Drained
+    else
+      let k =
+        Event_queue.drain_batch t.queue ~max_events:(limit - n) t.dispatch
+      in
+      if k = 0 then Drained
+      else begin
+        note_batch t k;
+        loop (n + k)
+      end
   in
   loop 0
 

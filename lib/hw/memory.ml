@@ -137,6 +137,14 @@ let with_range_ro t ~world ~addr ~len ~f =
   check_range t ~world ~addr ~len;
   f t.data addr
 
+(* Unvalidated word loads for loops inside a [with_range_ro] window: the
+   range check already ran once for the whole window, so per-load bounds
+   checks in a block-compare sweep are pure overhead. *)
+external unsafe_get_int64_ne : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+
+external unsafe_string_get_int64_ne : string -> int -> int64
+  = "%caml_string_get64u"
+
 let fold_range t ~world ~addr ~len ~init ~f =
   check_range t ~world ~addr ~len;
   let acc = ref init in

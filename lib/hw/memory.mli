@@ -69,6 +69,17 @@ val with_range_ro :
     specialized loops over. [f] must treat the bytes as read-only, stay
     within [\[addr, addr+len)], and must not let the buffer escape. *)
 
+external unsafe_get_int64_ne : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+(** Native-endian 64-bit load with {e no} bounds check, for word-level
+    sweeps over a window an enclosing {!with_range_ro} already validated.
+    Only call it with [offset + 8 <=] the validated window's end; anything
+    else is undefined behaviour, not an exception. *)
+
+external unsafe_string_get_int64_ne : string -> int -> int64
+  = "%caml_string_get64u"
+(** {!unsafe_get_int64_ne} over a [string] (golden images are immutable
+    strings); the same hoisted-bounds-check contract applies. *)
+
 val blit_within : t -> world:World.t -> src:int -> dst:int -> len:int -> unit
 
 type guard

@@ -95,15 +95,25 @@ let with_live t ~base ~len ~f =
       f t.scratch 0
 
 (* Word-level equality of [data[doff..)] against golden content: eight
-   bytes per comparison over the aligned middle, byte tail after. *)
+   bytes per comparison over the aligned middle, byte tail after. One
+   explicit bounds check up front licenses the unchecked word loads in the
+   loop ([with_live] hands us a [with_range_ro]-validated window, but the
+   offsets are computed here, so the hoisted check keeps the unsafe loads
+   honest while still paying it once per block instead of twice per
+   word). *)
 let range_equal data doff golden goff blen =
+  if
+    blen < 0 || doff < 0 || goff < 0
+    || doff + blen > Bytes.length data
+    || goff + blen > String.length golden
+  then invalid_arg "Checker.range_equal: range outside buffers";
   let i = ref 0 and equal = ref true in
   let stop8 = blen - 7 in
   while !equal && !i < stop8 do
     if
       Int64.equal
-        (Bytes.get_int64_ne data (doff + !i))
-        (String.get_int64_ne golden (goff + !i))
+        (Memory.unsafe_get_int64_ne data (doff + !i))
+        (Memory.unsafe_string_get_int64_ne golden (goff + !i))
     then i := !i + 8
     else equal := false
   done;

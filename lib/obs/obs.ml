@@ -1,5 +1,6 @@
 module Sim_time = Satin_engine.Sim_time
 module Engine = Satin_engine.Engine
+module Stats = Satin_engine.Stats
 
 type t = {
   metrics : Metrics.t;
@@ -158,6 +159,44 @@ let attach_engine engine =
       | None -> None
     else None
   in
+  let sink_batch =
+    match !current_state with
+    | None -> None
+    | Some s ->
+        Some
+          ( Metrics.histogram s.metrics "engine.batch_size",
+            Metrics.histogram s.metrics "engine.cascades" )
+  in
+  let capture_batch =
+    if Atomic.get capture_count > 0 then
+      match !(capture_slot ()) with
+      | Some m ->
+          Some
+            ( Metrics.histogram m "engine.batch_size",
+              Metrics.histogram m "engine.cascades" )
+      | None -> None
+    else None
+  in
+  (match (sink_batch, capture_batch) with
+  | None, None -> ()
+  | _ ->
+      (* Batched dispatch shape: events per same-instant batch and wheel
+         cascades charged to it. Deterministic series (batch boundaries are
+         a function of the schedule alone), so they belong in [metrics],
+         not [wall_metrics]. Runs once per batch, between dispatches. *)
+      Engine.set_batch_observer engine
+        (Some
+           (fun ~size ~cascades ->
+             (match sink_batch with
+             | None -> ()
+             | Some (bs, cs) ->
+                 Stats.add bs (float_of_int size);
+                 Stats.add cs (float_of_int cascades));
+             match capture_batch with
+             | None -> ()
+             | Some (bs, cs) ->
+                 Stats.add bs (float_of_int size);
+                 Stats.add cs (float_of_int cascades))));
   match (sink_cells, capture_cells) with
   | None, None -> ()
   | _ ->

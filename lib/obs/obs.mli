@@ -94,10 +94,15 @@ val instant :
 val name_track : int -> string -> unit
 
 val attach_engine : Satin_engine.Engine.t -> unit
-(** Register the engine-level observer: every fired event bumps the
+(** Register the engine-level observers: every fired event bumps the
     ["engine.events_fired"] counter and updates the ["engine.queue_depth"]
-    gauge — in the sink, the current domain's capture registry, or both.
-    A no-op (and no observer is installed) when neither is active, so an
+    gauge, and every dispatched batch records its event count and wheel
+    cascades into the ["engine.batch_size"] and ["engine.cascades"]
+    histograms — in the sink, the current domain's capture registry, or
+    both. All four are deterministic series (batch boundaries are a
+    function of the schedule alone), so they flow into capsules and
+    [telemetry report], never into wall-metrics. A no-op (and no observer
+    is installed) when neither destination is active, so an
     un-instrumented run keeps the engine's bare step loop. *)
 
 (** {1 Exports} *)

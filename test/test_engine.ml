@@ -163,6 +163,26 @@ let test_run_all_outcomes () =
   | Engine.Drained -> ()
   | Engine.Limit_hit -> Alcotest.fail "empty queue hit a limit"
 
+let test_every_rearm_allocation_free () =
+  (* Satellite of the timing-wheel PR: a pure periodic-timer workload must
+     stay within 2 minor words per event in steady state — the re-arm goes
+     through the wheel's O(1) insert and [run_until]'s batched dispatch,
+     neither of which allocates once warm. *)
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.every e ~period:(Sim_time.us 1) (fun () -> incr hits));
+  (* Warm-up: slot-table growth, closure knots, first cascades. *)
+  Engine.run_until e (Sim_time.ms 1);
+  let c0 = !hits in
+  let w0 = Gc.minor_words () in
+  Engine.run_until e (Sim_time.ms 11);
+  let events = !hits - c0 in
+  let per_event = (Gc.minor_words () -. w0) /. float_of_int events in
+  Alcotest.(check bool) "fired plenty" true (events >= 9_000);
+  if per_event > 2.0 then
+    Alcotest.failf "periodic re-arm allocates %.2f words/event (want <= 2)"
+      per_event
+
 let test_pending () =
   let e = Engine.create () in
   Alcotest.(check int) "empty" 0 (Engine.pending e);
@@ -194,5 +214,7 @@ let suite =
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "run_all limit" `Quick test_run_all_limit;
     Alcotest.test_case "run_all outcomes" `Quick test_run_all_outcomes;
+    Alcotest.test_case "every: re-arm allocation-free" `Quick
+      test_every_rearm_allocation_free;
     Alcotest.test_case "pending" `Quick test_pending;
   ]

@@ -184,19 +184,145 @@ let test_dispatch_allocation_free () =
   if per_event > 0.5 then
     Alcotest.failf "pop_into allocates %.2f words/event (want 0)" per_event
 
+(* ---- timing-wheel structure tests (cascades, overflow tier, batches) ---- *)
+
+let far_time = (1 lsl 33) + 12_345 (* beyond the 2^33 window from cur = 0 *)
+
+let test_overflow_tier_refill () =
+  (* An event beyond the wheel horizon lives in the overflow heap until the
+     wheel empties and the cursor jumps forward to adopt it. *)
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:far_time "far");
+  ignore (Event_queue.push q ~time:10 "near");
+  Alcotest.(check (option int)) "near first" (Some 10) (Event_queue.peek_time q);
+  Alcotest.(check (list string)) "clean with overflow entry" []
+    (Event_queue.invariant_violations q);
+  (match Event_queue.pop q with
+  | Some (10, "near") -> ()
+  | _ -> Alcotest.fail "expected near event");
+  (match Event_queue.pop q with
+  | Some (t, "far") -> Alcotest.(check int) "far fires at its time" far_time t
+  | _ -> Alcotest.fail "expected far event");
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q);
+  Alcotest.(check (list string)) "clean after refill" []
+    (Event_queue.invariant_violations q)
+
+let test_cancel_mid_cascade () =
+  (* 99_999 and 100_000 share a level-1 slot from cur = 0; cancelling one
+     before the cascade must release the tombstone during the cascade and
+     never fire it. *)
+  let q = Event_queue.create () in
+  let doomed = Event_queue.push q ~time:100_000 "doomed" in
+  ignore (Event_queue.push q ~time:99_999 "walker");
+  Event_queue.cancel q doomed;
+  Alcotest.(check int) "one live" 1 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | Some (99_999, "walker") -> ()
+  | _ -> Alcotest.fail "expected walker");
+  Alcotest.(check bool) "tombstone never fires" true (Event_queue.pop q = None);
+  Alcotest.(check (list string)) "clean after cascade" []
+    (Event_queue.invariant_violations q)
+
+let test_stale_handle_across_cascade () =
+  (* A handle that fired via a cascade path must stay dead after its slot
+     is recycled by a later push. *)
+  let q = Event_queue.create () in
+  let h = Event_queue.push q ~time:5_000 "first" in
+  (match Event_queue.pop q with
+  | Some (_, "first") -> ()
+  | _ -> Alcotest.fail "expected first");
+  let h2 = Event_queue.push q ~time:6_000 "second" in
+  Event_queue.cancel q h;
+  Alcotest.(check bool) "stale handle dead" false (Event_queue.is_live q h);
+  Alcotest.(check bool) "recycled occupant alive" true
+    (Event_queue.is_live q h2);
+  (match Event_queue.pop q with
+  | Some (_, "second") -> ()
+  | _ -> Alcotest.fail "expected second")
+
+let test_drain_batch_cap_and_order () =
+  let q = Event_queue.create () in
+  for i = 0 to 4 do
+    ignore (Event_queue.push q ~time:9 i)
+  done;
+  let got = ref [] in
+  let clean_mid = ref true in
+  let f _ v =
+    if Event_queue.invariant_violations q <> [] then clean_mid := false;
+    got := v :: !got
+  in
+  let n1 = Event_queue.drain_batch q ~max_events:2 f in
+  Alcotest.(check int) "capped at 2" 2 n1;
+  Alcotest.(check (list string)) "clean between capped batches" []
+    (Event_queue.invariant_violations q);
+  let n2 = Event_queue.drain_batch q ~max_events:max_int f in
+  Alcotest.(check int) "remainder" 3 n2;
+  Alcotest.(check bool) "invariants hold mid-batch" true !clean_mid;
+  Alcotest.(check (list int)) "seq order across capped batches" [ 0; 1; 2; 3; 4 ]
+    (List.rev !got)
+
+let test_cancel_mid_batch_suppresses () =
+  (* A callback cancelling a later event of the same claimed batch must
+     suppress it, exactly as one-at-a-time popping would. *)
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:3 "a");
+  let b = Event_queue.push q ~time:3 "b" in
+  ignore (Event_queue.push q ~time:3 "c");
+  let fired = ref [] in
+  let n =
+    Event_queue.drain_batch q ~max_events:max_int (fun _ v ->
+        Event_queue.cancel q b;
+        fired := v :: !fired)
+  in
+  Alcotest.(check int) "two fired" 2 n;
+  Alcotest.(check (list string)) "b suppressed" [ "a"; "c" ] (List.rev !fired);
+  Alcotest.(check (list string)) "clean after suppressed batch" []
+    (Event_queue.invariant_violations q)
+
+let test_nested_drain_rejected () =
+  let q = Event_queue.create () in
+  (* Two same-tick events: the claimed-batch path. *)
+  ignore (Event_queue.push q ~time:1 ());
+  ignore (Event_queue.push q ~time:1 ());
+  let raised = ref 0 in
+  let f _ () =
+    match Event_queue.pop_into q (fun _ _ -> ()) with
+    | exception Invalid_argument _ -> incr raised
+    | _ -> ()
+  in
+  let n = Event_queue.drain_batch q ~max_events:max_int f in
+  Alcotest.(check int) "batch dispatched" 2 n;
+  Alcotest.(check int) "nested drains rejected" 2 !raised;
+  (* Single-entry fast path must reject re-entry too. *)
+  ignore (Event_queue.push q ~time:2 ());
+  raised := 0;
+  let n = Event_queue.drain_batch q ~max_events:max_int f in
+  Alcotest.(check int) "single dispatched" 1 n;
+  Alcotest.(check int) "fast path rejects nesting" 1 !raised;
+  Alcotest.(check (list string)) "clean after rejections" []
+    (Event_queue.invariant_violations q)
+
 (* Model-based property: the queue against a reference implementation (a
    sorted association list keyed by (time, insertion seq)) under an
-   arbitrary interleaving of push / cancel / pop / pop_into / peek. *)
-type op = Push of int | Cancel of int | Pop | Pop_into | Peek
+   arbitrary interleaving of push / cancel / pop / pop_into / drain / peek.
+   Push times mix three magnitudes: level-0 locals, mid-range times that
+   land in levels 1–2 and cascade on drain, and times beyond the 2^33
+   wheel horizon that exercise the overflow tier, cursor jumps, and
+   heap-to-wheel refill (plus the past-time heap path once the cursor has
+   jumped ahead of later small pushes). *)
+type op = Push of int | Cancel of int | Pop | Pop_into | Drain_batch | Peek
 
 let op_gen =
   QCheck.Gen.(
     frequency
       [
-        (5, map (fun t -> Push t) (int_bound 1000));
+        (4, map (fun t -> Push t) (int_bound 1000));
+        (2, map (fun t -> Push (4096 + (t * 37))) (int_bound 60_000));
+        (1, map (fun t -> Push ((1 lsl 33) + (1 lsl 20) + t)) (int_bound 5000));
         (2, map (fun i -> Cancel i) (int_bound 50));
         (2, return Pop);
         (2, return Pop_into);
+        (1, return Drain_batch);
         (1, return Peek);
       ])
 
@@ -205,11 +331,12 @@ let op_print = function
   | Cancel i -> Printf.sprintf "Cancel %d" i
   | Pop -> "Pop"
   | Pop_into -> "Pop_into"
+  | Drain_batch -> "Drain_batch"
   | Peek -> "Peek"
 
 let prop_matches_reference_model =
   QCheck.Test.make
-    ~name:"queue matches sorted-list model under push/cancel/pop/peek"
+    ~name:"queue matches sorted-list model under push/cancel/pop/drain/peek"
     ~count:200
     QCheck.(list_of_size Gen.(0 -- 120) (make ~print:op_print op_gen))
     (fun ops ->
@@ -257,6 +384,29 @@ let prop_matches_reference_model =
               in
               let want = model_pop () in
               if !got <> want || popped <> (want <> None) then ok := false
+          | Drain_batch ->
+              (* Drain the whole earliest-instant batch: every live model
+                 entry sharing the earliest time, in seq order. *)
+              let got = ref [] in
+              let n =
+                Event_queue.drain_batch q ~max_events:max_int (fun t v ->
+                    got := (t, v) :: !got)
+              in
+              let want =
+                match model_sorted () with
+                | [] -> []
+                | (_, t0, _) :: _ ->
+                    List.filter_map
+                      (fun (s, t, a) ->
+                        if t = t0 then begin
+                          a := false;
+                          Some (t, s)
+                        end
+                        else None)
+                      (model_sorted ())
+              in
+              if List.rev !got <> want || n <> List.length want then
+                ok := false
           | Peek ->
               let want =
                 match model_sorted () with (_, t, _) :: _ -> Some t | [] -> None
@@ -320,6 +470,15 @@ let suite =
       test_fired_payloads_collectible;
     Alcotest.test_case "pop_into dispatch is allocation-free" `Quick
       test_dispatch_allocation_free;
+    Alcotest.test_case "overflow tier refill" `Quick test_overflow_tier_refill;
+    Alcotest.test_case "cancel mid-cascade" `Quick test_cancel_mid_cascade;
+    Alcotest.test_case "stale handle across cascade" `Quick
+      test_stale_handle_across_cascade;
+    Alcotest.test_case "drain_batch cap and order" `Quick
+      test_drain_batch_cap_and_order;
+    Alcotest.test_case "cancel mid-batch suppresses" `Quick
+      test_cancel_mid_batch_suppresses;
+    Alcotest.test_case "nested drain rejected" `Quick test_nested_drain_rejected;
     QCheck_alcotest.to_alcotest prop_matches_reference_model;
     QCheck_alcotest.to_alcotest prop_heap_orders_any_sequence;
     QCheck_alcotest.to_alcotest prop_cancel_half;
