@@ -9,6 +9,7 @@ module Sanitizer = Satin_inject.Sanitizer
 module Runner = Satin_runner.Runner
 module Store = Satin_store.Store
 module SKey = Satin_store.Key
+module Memo = Satin_store.Memo
 module Fingerprint = Satin_store.Fingerprint
 module Telemetry = Satin_store.Telemetry
 
@@ -83,7 +84,8 @@ let resolve_store dir no_store =
 
 (* Install the result store around [f] when one was asked for; the
    hit/miss summary goes to stderr so stdout stays byte-identical between
-   warm and cold runs. *)
+   warm and cold runs. Closing releases the journal fd and fsyncs it, so
+   a store handed off between fleet processes is durable on exit. *)
 let with_store dir no_store f =
   match resolve_store dir no_store with
   | None -> f ()
@@ -93,7 +95,8 @@ let with_store dir no_store f =
       Fun.protect
         ~finally:(fun () ->
           Store.uninstall ();
-          Printf.eprintf "%s\n" (Store.summary_line store))
+          Printf.eprintf "%s\n" (Store.summary_line store);
+          Store.close store)
         f
 
 (* Enable check mode around [f]; report to stderr (stdout stays the
@@ -282,6 +285,15 @@ let degrade =
 let all = campaign "all" "Run the whole evaluation in paper order"
     (fun pool seed quick -> E.run_all ~pool ~seed ~quick fmt)
 
+let fleet =
+  campaign "fleet" "Fleet: per-device detection & overhead sweep"
+    (fun pool seed quick ->
+      E.print_fleet fmt
+        (E.run_fleet ~pool ~seed
+           ~devices:(if quick then 16 else 240)
+           ~window_s:(if quick then 10 else 20)
+           ()))
+
 (* Print the code fingerprint mixed into every store key, so a user can
    explain why a rebuilt binary misses a warmed store: the first stdout
    line is the bare hex (script-friendly); provenance goes to stderr. *)
@@ -360,31 +372,117 @@ let campaign_experiments : (string * (Runner.t -> int -> bool -> unit)) list =
              ~trials:(if quick then 2 else 4)
              ~window_s:(if quick then 25 else 30)
              ()) );
+    ( "fleet",
+      fun pool seed quick ->
+        E.print_fleet fmt
+          (E.run_fleet ~pool ~seed
+             ~devices:(if quick then 16 else 240)
+             ~window_s:(if quick then 10 else 20)
+             ()) );
   ]
+
+(* [fleet] is deployment-scale: it joins the registry (so sharded fleets
+   can name it) but not the default sweep, which CI runs warm. *)
+let default_campaign_experiments =
+  List.filter (fun n -> n <> "fleet") (List.map fst campaign_experiments)
+
+(* "i/N" -> (i, N); campaign validates range and store presence. *)
+let parse_shard s =
+  match String.split_on_char '/' s with
+  | [ i; n ] -> (
+      match (int_of_string_opt i, int_of_string_opt n) with
+      | Some i, Some n when n >= 1 && i >= 0 && i < n -> Some (i, n)
+      | _ -> None)
+  | _ -> None
+
+(* Spawn one worker shard: this same executable, re-running the campaign
+   as shard [i] of [w] against the shared store, stdout/stderr captured
+   under DIR/shards/ (each shard's stdout is itself the full canonical
+   report — useful for diffing, noise if interleaved on a tty). *)
+let spawn_shard ~dir ~args ~w i =
+  let shards = Filename.concat dir "shards" in
+  Store.mkdir_p shards;
+  let open_log ext =
+    Unix.openfile
+      (Filename.concat shards (Printf.sprintf "shard-%d.%s" i ext))
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let out = open_log "out" and err = open_log "err" in
+  let argv =
+    Array.of_list
+      ((Sys.executable_name :: args) @ [ Printf.sprintf "--shard=%d/%d" i w ])
+  in
+  let pid = Unix.create_process Sys.executable_name argv Unix.stdin out err in
+  Unix.close out;
+  Unix.close err;
+  pid
 
 let campaign_cmd =
   let doc =
     "Run a declared parameter sweep (experiments x seeds) incrementally. \
      With --store, completed trials persist as they finish, so re-running \
      an interrupted campaign executes only the missing trials and a fully \
-     warmed campaign recomputes nothing."
+     warmed campaign recomputes nothing. With --shard or --workers, \
+     several processes sweep the same store cooperatively, each emitting \
+     the full byte-identical report."
   in
   let experiments_arg =
     let doc =
       "Comma-separated experiments to run, in order. Defaults to every \
-       seeded experiment."
+       seeded experiment except the deployment-scale $(b,fleet), which \
+       must be named explicitly."
     in
     Arg.(
       value
-      & opt (list string) (List.map fst campaign_experiments)
+      & opt (list string) default_campaign_experiments
       & info [ "experiments"; "e" ] ~docv:"NAMES" ~doc)
   in
   let seeds_arg =
     let doc = "Comma-separated PRNG seeds; the sweep runs every experiment at every seed." in
     Arg.(value & opt (list int) [ 42 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
   in
+  let shard_arg =
+    let doc =
+      "Run as shard $(docv) (e.g. 0/4): own a deterministic slice of every \
+       trial fan-out, compute it, and serve the rest from the store as the \
+       other shards publish — so this process still prints the full \
+       report, byte-identical to an unsharded run. Requires --store; the \
+       other shards are launched separately (same store, same arguments, \
+       different indices)."
+    in
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"I/N" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Launch $(docv) worker processes (this executable, --shard i/$(docv) \
+       each) against the shared store, wait for them, then replay the \
+       warmed campaign in-process as the canonical merged report on \
+       stdout. Per-shard stdout/stderr land under DIR/shards/. Requires \
+       --store; mutually exclusive with --shard."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let lease_ttl_arg =
+    let doc =
+      "Seconds a shard's claim on a trial holds before peers may steal it \
+       (and the grace peers extend to an owner that has not claimed yet). \
+       Lower it for quick campaigns so a killed shard's trials are \
+       re-owned sooner; raise it when single trials run long."
+    in
+    Arg.(
+      value & opt float 60.0 & info [ "lease-ttl" ] ~docv:"SECONDS" ~doc)
+  in
+  let report_arg =
+    let doc =
+      "After the sweep, aggregate the store's metric capsules and print \
+       the telemetry percentile table (same output as $(b,telemetry \
+       report)). Requires --store."
+    in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
   let run experiments seeds quick jobs trace metrics check store no_store
-      progress =
+      progress shard workers lease_ttl report =
     (match
        List.filter
          (fun n -> not (List.mem_assoc n campaign_experiments))
@@ -400,29 +498,112 @@ let campaign_cmd =
       prerr_endline "campaign: --seeds must name at least one seed";
       exit 2
     end;
-    let pool = Runner.create ~jobs () in
-    with_progress progress (fun () ->
-        with_check check (fun () ->
-            with_store store no_store (fun () ->
-                with_obs trace metrics (fun () ->
-                    List.iter
-                      (fun seed ->
-                        List.iter
-                          (fun name ->
-                            Format.fprintf fmt
-                              "==== campaign: %s seed=%d ====@." name seed;
-                            Progress.set_label
-                              (Printf.sprintf "%s seed=%d" name seed);
-                            (List.assoc name campaign_experiments) pool seed
-                              quick)
-                          experiments)
-                      seeds))))
+    let resolved = resolve_store store no_store in
+    let shard =
+      match shard with
+      | None -> None
+      | Some s -> (
+          match parse_shard s with
+          | Some _ as sh -> sh
+          | None ->
+              Printf.eprintf
+                "campaign: --shard wants I/N with 0 <= I < N, got %s\n" s;
+              exit 2)
+    in
+    if shard <> None && workers <> None then begin
+      prerr_endline "campaign: --shard and --workers are mutually exclusive";
+      exit 2
+    end;
+    if (shard <> None || workers <> None || report) && resolved = None then begin
+      prerr_endline
+        "campaign: --shard/--workers/--report need a store; pass --store \
+         DIR or set $SATIN_STORE";
+      exit 2
+    end;
+    (match workers with
+    | Some w when w < 1 ->
+        prerr_endline "campaign: --workers must be at least 1";
+        exit 2
+    | _ -> ());
+    if lease_ttl <= 0.0 then begin
+      prerr_endline "campaign: --lease-ttl must be positive";
+      exit 2
+    end;
+    Memo.set_lease_ttl lease_ttl;
+    let run_campaign () =
+      let pool = Runner.create ~jobs () in
+      with_progress progress (fun () ->
+          with_check check (fun () ->
+              with_store store no_store (fun () ->
+                  with_obs trace metrics (fun () ->
+                      List.iter
+                        (fun seed ->
+                          List.iter
+                            (fun name ->
+                              Format.fprintf fmt
+                                "==== campaign: %s seed=%d ====@." name seed;
+                              Progress.set_label
+                                (Printf.sprintf "%s seed=%d" name seed);
+                              (List.assoc name campaign_experiments) pool seed
+                                quick)
+                            experiments)
+                        seeds))))
+    in
+    (match workers with
+    | Some w ->
+        let dir = Option.get resolved in
+        let args =
+          [
+            "campaign"; "--experiments"; String.concat "," experiments;
+            "--seeds";
+            String.concat "," (List.map string_of_int seeds);
+            "--jobs"; string_of_int jobs; "--store"; dir;
+            Printf.sprintf "--lease-ttl=%g" lease_ttl;
+          ]
+          @ (if quick then [ "--quick" ] else [])
+          @ (if check then [ "--check" ] else [])
+        in
+        let pids = List.init w (spawn_shard ~dir ~args ~w) in
+        let failed =
+          List.filteri
+            (fun i pid ->
+              match snd (Unix.waitpid [] pid) with
+              | Unix.WEXITED 0 -> false
+              | status ->
+                  Printf.eprintf "campaign: shard %d/%d %s (see %s)\n" i w
+                    (match status with
+                    | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+                    | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+                    | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s)
+                    (Filename.concat dir
+                       (Printf.sprintf "shards/shard-%d.err" i));
+                  true)
+            pids
+        in
+        if failed <> [] then exit 1;
+        (* Every trial is now in the store: the in-process replay below is
+           all warm hits and prints the canonical merged report. *)
+        run_campaign ()
+    | None ->
+        Memo.set_shard shard;
+        Fun.protect ~finally:(fun () -> Memo.set_shard None) run_campaign);
+    if report then
+      let dir = Option.get resolved in
+      let s = Store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s)
+        (fun () ->
+          match Telemetry.collect s with
+          | Ok r -> Telemetry.print_table fmt r
+          | Error e ->
+              Printf.eprintf "campaign: report: %s\n" e;
+              exit 2)
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ experiments_arg $ seeds_arg $ quick_arg $ jobs_arg
       $ trace_arg $ metrics_arg $ check_arg $ store_arg $ no_store_arg
-      $ progress_arg)
+      $ progress_arg $ shard_arg $ workers_arg $ lease_ttl_arg $ report_arg)
 
 (* ---- telemetry: aggregate capsules, export, gate ---- *)
 
@@ -580,7 +761,7 @@ let main =
     [
       e1; table1; e3; uprober; table2; fig4; e6; race; timeline; evasion;
       areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; inject;
-      degrade; all; fingerprint; campaign_cmd; telemetry_cmd;
+      degrade; fleet; all; fingerprint; campaign_cmd; telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval main)

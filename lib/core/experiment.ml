@@ -1693,6 +1693,222 @@ let print_degrade fmt r =
      smoothly rather than collapsing@."
 
 (* ------------------------------------------------------------------ *)
+(* Fleet — per-device detection/overhead sweep (sharded campaigns)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The fleet experiment models a deployment: hundreds of devices, each a
+   fresh Juno with its own PRNG stream, running SATIN under one of a few
+   device classes (probing cadence × randomization posture) against a
+   persistent rootkit and the worst-case UnixBench workload. Device [i]'s
+   class is [i mod #classes] and its seed [derive seed i], so the device
+   population is determined by the index alone — growing [devices] (or
+   sweeping it across shards) only appends devices, every existing
+   per-device record stays valid. *)
+
+type fleet_class = { fc_tp_s : float; fc_randomized : bool }
+
+let fleet_classes =
+  List.concat_map
+    (fun tp ->
+      [
+        { fc_tp_s = tp; fc_randomized = true };
+        { fc_tp_s = tp; fc_randomized = false };
+      ])
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
+type fleet_device = {
+  fd_detected : bool;
+  fd_latency_s : float option; (** arm -> first alarmed round's wake-up, s *)
+  fd_rounds : int;
+  fd_score : float; (** workload throughput with SATIN running *)
+}
+
+let fleet_class_of ~trial_index =
+  List.nth fleet_classes (trial_index mod List.length fleet_classes)
+
+let fleet_device_trial ~seed ~window_s ~trial_index =
+  let cls = fleet_class_of ~trial_index in
+  let s = Scenario.create ~seed:(derive seed trial_index) () in
+  let t_goal_s = max 1 (int_of_float (Float.round (cls.fc_tp_s *. 19.0))) in
+  let satin =
+    Scenario.install_satin s
+      ~config:
+        {
+          Satin_def.t_goal = Sim_time.s t_goal_s;
+          randomize_area = cls.fc_randomized;
+          randomize_period = cls.fc_randomized;
+          randomize_core = cls.fc_randomized;
+        }
+      ()
+  in
+  let rootkit = Rootkit.create s.Scenario.kernel ~cleanup_core:0 () in
+  Rootkit.arm rootkit;
+  let armed_at = Scenario.now s in
+  let first_alarm = ref None in
+  Satin_def.on_round satin (fun r ->
+      if Round.detected r && !first_alarm = None then
+        first_alarm := Some r.Round.started);
+  let program = Unixbench.find_program "file_copy_256" in
+  let inst = Unixbench.launch s.Scenario.kernel program ~copies:1 () in
+  Scenario.run_for s (Sim_time.s window_s);
+  Satin_def.stop satin;
+  {
+    fd_detected = Satin_def.detections satin > 0;
+    fd_latency_s =
+      Option.map (fun t -> sec (Sim_time.diff t armed_at)) !first_alarm;
+    fd_rounds = Satin_def.rounds_count satin;
+    fd_score = Unixbench.score inst ~at:(Scenario.now s);
+  }
+
+(* The overhead denominator: the same workload on a device with no SATIN
+   at all. Class-independent, so a handful of seed-varied baselines serve
+   the whole fleet; the seed offset keeps baseline devices disjoint from
+   fleet devices of the same index. *)
+let fleet_baseline_trial ~seed ~window_s ~trial_index =
+  let s = Scenario.create ~seed:(derive seed (0x5EED + trial_index)) () in
+  let program = Unixbench.find_program "file_copy_256" in
+  let inst = Unixbench.launch s.Scenario.kernel program ~copies:1 () in
+  Scenario.run_for s (Sim_time.s window_s);
+  Unixbench.score inst ~at:(Scenario.now s)
+
+type fleet_row = {
+  fr_tp_s : float;
+  fr_randomized : bool;
+  fr_devices : int;
+  fr_detected : int;
+  fr_latency : Stats.t;
+  fr_rounds : float; (** mean rounds completed per device *)
+  fr_overhead_pct : float; (** vs the fleet-wide no-SATIN baseline *)
+}
+
+type fleet_result = {
+  fl_rows : fleet_row list;
+  fl_devices : int;
+  fl_window_s : int;
+  fl_baseline : float; (** mean no-SATIN workload score *)
+  fl_detected : int; (** devices that alarmed, fleet-wide *)
+  fl_latency : Stats.t; (** fleet-wide time to first alarm *)
+}
+
+let run_fleet ?(pool = Runner.sequential) ?(seed = 42) ?(devices = 240)
+    ?(window_s = 20) () =
+  if devices < 1 then invalid_arg "run_fleet: need at least one device";
+  (* [devices] stays out of the key config: a device's record depends only
+     on its own identity, so a grown (or sharded) fleet reuses every
+     already-computed device. *)
+  let results =
+    Memo.map pool ~experiment:"fleet" ~seed
+      ~config:[ ("window_s", string_of_int window_s) ]
+      ~trial_config:(fun i ->
+        let c = fleet_class_of ~trial_index:i in
+        [
+          ("tp_s", keyf c.fc_tp_s);
+          ("randomized", if c.fc_randomized then "1" else "0");
+        ])
+      devices
+      (fun i -> fleet_device_trial ~seed ~window_s ~trial_index:i)
+  in
+  let nbase = min devices 8 in
+  let baselines =
+    Memo.map pool ~experiment:"fleet-baseline" ~seed
+      ~config:[ ("window_s", string_of_int window_s) ]
+      nbase
+      (fun i -> fleet_baseline_trial ~seed ~window_s ~trial_index:i)
+  in
+  let baseline =
+    Array.fold_left ( +. ) 0.0 baselines /. float_of_int nbase
+  in
+  let ncls = List.length fleet_classes in
+  let rows =
+    List.filteri
+      (fun ci _ -> ci < devices) (* small fleets may not reach every class *)
+      (List.mapi
+         (fun ci cls ->
+           let members = ref [] in
+           Array.iteri
+             (fun i d -> if i mod ncls = ci then members := d :: !members)
+             results;
+           let members = !members in
+           let n = List.length members in
+           let latency = Stats.create () in
+           List.iter
+             (fun d -> Option.iter (Stats.add latency) d.fd_latency_s)
+             members;
+           let mean f =
+             if n = 0 then 0.0
+             else
+               List.fold_left (fun a d -> a +. f d) 0.0 members
+               /. float_of_int n
+           in
+           {
+             fr_tp_s = cls.fc_tp_s;
+             fr_randomized = cls.fc_randomized;
+             fr_devices = n;
+             fr_detected =
+               List.fold_left
+                 (fun a d -> if d.fd_detected then a + 1 else a)
+                 0 members;
+             fr_latency = latency;
+             fr_rounds = mean (fun d -> float_of_int d.fd_rounds);
+             fr_overhead_pct =
+               (if baseline <= 0.0 then 0.0
+                else
+                  100.0 *. (baseline -. mean (fun d -> d.fd_score))
+                  /. baseline);
+           })
+         fleet_classes)
+  in
+  let fleet_latency = Stats.create () in
+  Array.iter
+    (fun d -> Option.iter (Stats.add fleet_latency) d.fd_latency_s)
+    results;
+  {
+    fl_rows = rows;
+    fl_devices = devices;
+    fl_window_s = window_s;
+    fl_baseline = baseline;
+    fl_detected =
+      Array.fold_left
+        (fun a d -> if d.fd_detected then a + 1 else a)
+        0 results;
+    fl_latency = fleet_latency;
+  }
+
+let print_fleet fmt r =
+  Format.fprintf fmt "%s"
+    (Report.section
+       (Printf.sprintf
+          "Fleet: per-device detection & overhead, %d device(s), %d s window"
+          r.fl_devices r.fl_window_s));
+  Format.fprintf fmt "%s"
+    (Report.table
+       ~header:
+         [
+           "tp"; "randomized"; "devices"; "detected"; "first alarm (avg)";
+           "rounds"; "overhead";
+         ]
+       (List.map
+          (fun row ->
+            [
+              Printf.sprintf "%.1f s" row.fr_tp_s;
+              (if row.fr_randomized then "yes" else "no");
+              string_of_int row.fr_devices;
+              Printf.sprintf "%d/%d" row.fr_detected row.fr_devices;
+              (if Stats.is_empty row.fr_latency then "n/a"
+               else Printf.sprintf "%.1f s" (Stats.mean row.fr_latency));
+              Printf.sprintf "%.1f" row.fr_rounds;
+              Report.pct row.fr_overhead_pct;
+            ])
+          r.fl_rows));
+  Format.fprintf fmt
+    "fleet-wide: %d/%d device(s) alarmed%s; baseline score %.1f@."
+    r.fl_detected r.fl_devices
+    (if Stats.is_empty r.fl_latency then ""
+     else
+       Printf.sprintf ", first alarm avg %.1f s" (Stats.mean r.fl_latency))
+    r.fl_baseline
+
+(* ------------------------------------------------------------------ *)
 (* run_all                                                             *)
 (* ------------------------------------------------------------------ *)
 

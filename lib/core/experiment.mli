@@ -399,6 +399,69 @@ val run_degrade :
 
 val print_degrade : Format.formatter -> degrade_result -> unit
 
+(** {1 Fleet — per-device detection/overhead sweep}
+
+    A deployment-scale campaign: [devices] simulated Junos, each with its
+    own PRNG stream, running SATIN under one of {!fleet_classes} (probing
+    cadence × randomization posture) against a persistent rootkit and the
+    worst-case UnixBench workload. Device [i]'s class is
+    [i mod #classes] and its seed [derive seed i] — the population is a
+    pure function of the index, so growing the fleet (or sweeping it with
+    [campaign --shard]) only appends devices and reuses every stored
+    per-device record. *)
+
+type fleet_class = { fc_tp_s : float; fc_randomized : bool }
+
+val fleet_classes : fleet_class list
+(** Eight classes: cadence 0.5/1/2/4 s × randomizations all-on/all-off. *)
+
+type fleet_device = {
+  fd_detected : bool;
+  fd_latency_s : float option; (** arm -> first alarmed round's wake-up, s *)
+  fd_rounds : int;
+  fd_score : float; (** workload throughput with SATIN running *)
+}
+
+val fleet_class_of : trial_index:int -> fleet_class
+
+val fleet_device_trial :
+  seed:int -> window_s:int -> trial_index:int -> fleet_device
+
+val fleet_baseline_trial : seed:int -> window_s:int -> trial_index:int -> float
+(** The overhead denominator: the same workload with no SATIN installed. *)
+
+type fleet_row = {
+  fr_tp_s : float;
+  fr_randomized : bool;
+  fr_devices : int;
+  fr_detected : int;
+  fr_latency : Stats.t;
+  fr_rounds : float; (** mean rounds completed per device *)
+  fr_overhead_pct : float; (** vs the fleet-wide no-SATIN baseline *)
+}
+
+type fleet_result = {
+  fl_rows : fleet_row list;
+  fl_devices : int;
+  fl_window_s : int;
+  fl_baseline : float; (** mean no-SATIN workload score *)
+  fl_detected : int; (** devices that alarmed, fleet-wide *)
+  fl_latency : Stats.t; (** fleet-wide time to first alarm *)
+}
+
+val run_fleet :
+  ?pool:Runner.t ->
+  ?seed:int ->
+  ?devices:int ->
+  ?window_s:int ->
+  unit ->
+  fleet_result
+(** Defaults: 240 devices, 20 s window. [devices] is not part of the trial
+    keys — only the per-device class and window are — so any two fleets
+    of the same seed/window share their common prefix of records. *)
+
+val print_fleet : Format.formatter -> fleet_result -> unit
+
 (** {1 Everything} *)
 
 val run_all : ?pool:Runner.t -> ?seed:int -> ?quick:bool -> Format.formatter -> unit

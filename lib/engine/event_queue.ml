@@ -524,7 +524,13 @@ let rec find_next t =
           end;
           if !idx < 0 then incr level
         done;
-        if !idx < 0 then `Empty (* unreachable while wheel_count > 0 *)
+        if !idx < 0 then
+          (* The level-0 purge walk above may have dropped the wheel's last
+             tombstones, emptying it mid-scan. Retry from the top so the
+             empty-wheel branch can jump the cursor to a far-future heap
+             top (or report a genuinely empty queue). *)
+          if t.wheel_count = 0 then find_next t
+          else `Empty (* unreachable while wheel_count > 0 *)
         else begin
           let l = !level in
           let shift = l * slot_bits in

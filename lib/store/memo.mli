@@ -50,3 +50,34 @@ val map :
 (** [config] holds parameters shared by the whole fan-out, [trial_config]
     the per-trial ones (probing period, fault plan, ...). With no ambient
     store this is exactly [Runner.map]. *)
+
+(** {2 Sharding}
+
+    With {!set_shard} [(Some (i, n))] and an ambient store, [map]
+    partitions each fan-out across [n] cooperating processes: trial [t]
+    is {e owned} by shard [(t + Hashtbl.hash (experiment, seed)) mod n]
+    (the hash rotation spreads single-trial fan-outs across the fleet).
+    A shard claims and computes its owned misses through the pool, then
+    waits for the remaining trials to be published by their owners —
+    polling the store and stealing any trial whose lease ({!Store.try_claim})
+    is stale, or that was never claimed within one lease TTL of the wait
+    starting. Every shard therefore returns the {e full} result array,
+    byte-identical to an unsharded run: trials are pure in their key, so
+    even a duplicated computation (two workers racing a stale lease)
+    rewrites identical bytes. *)
+
+val set_shard : (int * int) option -> unit
+(** [set_shard (Some (i, n))] makes subsequent [map] calls run as shard
+    [i] of [n]; [None] (the default) and [n = 1] restore the unsharded
+    path. Raises [Invalid_argument] unless [0 <= i < n]. Ignored while no
+    store is installed. *)
+
+val shard : unit -> (int * int) option
+
+val set_lease_ttl : float -> unit
+(** Seconds a trial claim protects its owner before peers may steal it
+    (default 60). Also the grace a waiting shard extends to owners that
+    have not yet claimed a trial at all. Raises [Invalid_argument] on a
+    non-positive value. *)
+
+val lease_ttl : unit -> float

@@ -13,16 +13,29 @@ type counters = {
   capsule_hits : int;
   capsule_misses : int;
   capsule_writes : int;
+  claims : int;
+  claim_steals : int;
 }
+
+(* A live record carries the journal sequence number of the [+] line that
+   made it live. The FIFO order queue stores (key, seq) pairs: an entry is
+   valid only while the key is live *under that same seq*, so an evicted-
+   then-re-added key can never be evicted through its stale first entry,
+   and stale entries can never make the GC under- or over-evict. *)
+type entry = { size : int; seq : int }
 
 type t = {
   dir : string;
   max_bytes : int;
   mutex : Mutex.t;
-  live : (string, int) Hashtbl.t; (* key -> record size, bytes *)
-  order : string Queue.t; (* insertion order; may hold stale keys *)
+  live : (string, entry) Hashtbl.t;
+  order : (string * int) Queue.t; (* insertion order; stale entries skipped *)
+  mutable next_seq : int;
   mutable total_bytes : int;
-  mutable index : out_channel;
+  mutable index_fd : Unix.file_descr; (* O_APPEND journal writer *)
+  mutable lock_fd : Unix.file_descr; (* fcntl-lock anchor (.lock) *)
+  mutable read_pos : int; (* journal bytes already applied in-memory *)
+  mutable closed : bool;
   mutable hits : int;
   mutable misses : int;
   mutable writes : int;
@@ -31,6 +44,8 @@ type t = {
   mutable capsule_hits : int;
   mutable capsule_misses : int;
   mutable capsule_writes : int;
+  mutable claims : int;
+  mutable claim_steals : int;
 }
 
 let dir t = t.dir
@@ -58,13 +73,27 @@ let capsule_quarantine_path t key =
   Filename.concat t.dir (Filename.concat "quarantine" (key ^ ".cap"))
 
 let index_path dir = Filename.concat dir "index.log"
+let lock_path dir = Filename.concat dir ".lock"
+let claims_dir dir = Filename.concat dir "claims"
+let claim_path t key = Filename.concat (claims_dir t.dir) (key ^ ".lease")
 
+(* Create-first: one syscall in the common case, and EEXIST — the only
+   outcome of several workers racing to create the same fan-out dir — is
+   success at every level. ENOENT walks up one parent at a time; a
+   dirname fixpoint that still cannot be created (e.g. a relative path
+   whose every prefix is missing from a vanished cwd) propagates instead
+   of recursing forever. *)
 let rec mkdir_p path =
-  if not (Sys.file_exists path) then begin
-    mkdir_p (Filename.dirname path);
-    try Unix.mkdir path 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+  try Unix.mkdir path 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error ((Unix.ENOENT | Unix.ENOTDIR), _, _) as e ->
+      let parent = Filename.dirname path in
+      if parent = path then raise e
+      else begin
+        mkdir_p parent;
+        try Unix.mkdir path 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      end
 
 (* One journal line per event:
      + <key> <size> <experiment>      record added
@@ -76,42 +105,105 @@ let index_line_add key size experiment =
   Printf.sprintf "+ %s %d %s\n" key size
     (String.map (fun c -> if c = '\n' then ' ' else c) experiment)
 
-let replay_index t =
-  let path = index_path t.dir in
-  if Sys.file_exists path then begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          while true do
-            let l = input_line ic in
-            match String.split_on_char ' ' l with
-            | "+" :: key :: size :: _ when is_hex_key key -> (
-                match int_of_string_opt size with
-                | Some size when Sys.file_exists (object_path t key) ->
-                    if not (Hashtbl.mem t.live key) then begin
-                      Hashtbl.replace t.live key size;
-                      Queue.push key t.order;
-                      t.total_bytes <- t.total_bytes + size
-                    end
-                | _ -> ())
-            | ("-" | "!") :: key :: _ -> (
-                match Hashtbl.find_opt t.live key with
-                | Some size ->
-                    Hashtbl.remove t.live key;
-                    t.total_bytes <- t.total_bytes - size
-                | None -> ())
-            | _ -> () (* tolerate torn trailing writes *)
-          done
-        with End_of_file -> ())
-  end
+(* Append one complete line in a single write(2). The journal fd is
+   O_APPEND, so concurrent writers' lines land whole and in some total
+   order — never interleaved mid-line. (A short write on a local regular
+   file does not happen for lines this small; the loop is belt and
+   braces for exotic filesystems.) *)
+let append_index t line =
+  let b = Bytes.unsafe_of_string line in
+  let len = Bytes.length b in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write t.index_fd b pos (len - pos))
+  in
+  go 0
+
+(* Cross-process critical section: an fcntl record lock on [.lock].
+   Serializes journal bookkeeping, GC, and claim handoffs between
+   processes; within a process the handle mutex already serializes, and
+   the kernel grants a process's re-request on a region it holds, so two
+   handles in one process cannot deadlock each other. fcntl locks die
+   with their process, so a crashed worker never wedges the store. *)
+let with_file_lock t f =
+  Unix.lockf t.lock_fd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+    f
+
+let apply_line t l =
+  match String.split_on_char ' ' l with
+  | "+" :: key :: size :: _ when is_hex_key key -> (
+      match int_of_string_opt size with
+      | Some size
+        when (not (Hashtbl.mem t.live key))
+             && Sys.file_exists (object_path t key) ->
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          Hashtbl.replace t.live key { size; seq };
+          Queue.push (key, seq) t.order;
+          t.total_bytes <- t.total_bytes + size
+      | _ -> ())
+  | ("-" | "!") :: key :: _ -> (
+      match Hashtbl.find_opt t.live key with
+      | Some e ->
+          Hashtbl.remove t.live key;
+          t.total_bytes <- t.total_bytes - e.size
+      | None -> ())
+  | _ -> () (* tolerate foreign or damaged lines *)
+
+(* Adopt journal lines appended since the last refresh — our own (already
+   applied in-memory, so idempotent via the live check) and, the point,
+   those of concurrent writer processes. Only complete lines are applied:
+   a line becomes visible atomically with its writer's single O_APPEND
+   write, and a torn tail (which only a non-compliant filesystem could
+   show) is left for the next refresh. Caller holds the mutex. *)
+let refresh_locked t =
+  match open_in_bin (index_path t.dir) with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len > t.read_pos then begin
+            seek_in ic t.read_pos;
+            let chunk = really_input_string ic (len - t.read_pos) in
+            match String.rindex_opt chunk '\n' with
+            | None -> ()
+            | Some last ->
+                String.sub chunk 0 last |> String.split_on_char '\n'
+                |> List.iter (fun l -> if l <> "" then apply_line t l);
+                t.read_pos <- t.read_pos + last + 1
+          end)
+
+(* Drop stale (evicted/quarantined/superseded) entries so a long-lived
+   journal cannot grow the queue without bound. Caller holds the mutex. *)
+let compact_order t =
+  let q = Queue.create () in
+  Queue.iter
+    (fun (key, seq) ->
+      match Hashtbl.find_opt t.live key with
+      | Some e when e.seq = seq -> Queue.push (key, seq) q
+      | _ -> ())
+    t.order;
+  Queue.clear t.order;
+  Queue.transfer q t.order
 
 let open_ ?(max_bytes = 512 * 1024 * 1024) dir =
   if max_bytes <= 0 then invalid_arg "Store.open_: max_bytes must be positive";
   mkdir_p (Filename.concat dir "objects");
   mkdir_p (Filename.concat dir "capsules");
   mkdir_p (Filename.concat dir "quarantine");
+  mkdir_p (claims_dir dir);
+  let index_fd =
+    Unix.openfile (index_path dir)
+      [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+      0o644
+  in
+  let lock_fd =
+    Unix.openfile (lock_path dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
   let t =
     {
       dir;
@@ -119,8 +211,12 @@ let open_ ?(max_bytes = 512 * 1024 * 1024) dir =
       mutex = Mutex.create ();
       live = Hashtbl.create 256;
       order = Queue.create ();
+      next_seq = 0;
       total_bytes = 0;
-      index = stdout (* replaced below *);
+      index_fd;
+      lock_fd;
+      read_pos = 0;
+      closed = false;
       hits = 0;
       misses = 0;
       writes = 0;
@@ -129,16 +225,25 @@ let open_ ?(max_bytes = 512 * 1024 * 1024) dir =
       capsule_hits = 0;
       capsule_misses = 0;
       capsule_writes = 0;
+      claims = 0;
+      claim_steals = 0;
     }
   in
-  replay_index t;
-  t.index <-
-    open_out_gen [ Open_append; Open_creat ] 0o644 (index_path dir);
+  Mutex.protect t.mutex (fun () ->
+      refresh_locked t;
+      compact_order t);
   t
 
-let append_index t line =
-  output_string t.index line;
-  flush t.index
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (try Unix.fsync t.index_fd with Unix.Unix_error _ -> ());
+        (try Unix.close t.index_fd with Unix.Unix_error _ -> ());
+        try Unix.close t.lock_fd with Unix.Unix_error _ -> ()
+      end)
+
+let sync t = Mutex.protect t.mutex (fun () -> refresh_locked t)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -159,9 +264,9 @@ let write_file_atomic path content =
 
 let drop_live t key =
   match Hashtbl.find_opt t.live key with
-  | Some size ->
+  | Some e ->
       Hashtbl.remove t.live key;
-      t.total_bytes <- t.total_bytes - size
+      t.total_bytes <- t.total_bytes - e.size
   | None -> ()
 
 let quarantine t key err =
@@ -175,71 +280,176 @@ let quarantine t key err =
   Log.warn (fun m ->
       m "quarantined record %s: %s" key (Codec.error_to_string err))
 
-let find t ~key =
-  Mutex.protect t.mutex (fun () ->
-      let miss () =
-        t.misses <- t.misses + 1;
-        Obs.incr "store.misses";
-        None
-      in
-      if not (Hashtbl.mem t.live key) then miss ()
-      else
-        match read_file (object_path t key) with
-        | exception Sys_error _ ->
-            (* Journal said live but the file is gone (external deletion);
-               settle the books and recompute. *)
-            drop_live t key;
-            append_index t (Printf.sprintf "- %s\n" key);
-            miss ()
-        | raw -> (
-            match Codec.decode raw with
-            | Ok v ->
-                t.hits <- t.hits + 1;
-                Obs.incr "store.hits";
-                Some v
-            | Error err ->
-                quarantine t key err;
-                miss ()))
+let find_locked t ~key =
+  let miss () =
+    t.misses <- t.misses + 1;
+    Obs.incr "store.misses";
+    None
+  in
+  (* A live-table miss may just mean another process added the record
+     since our last look at the journal: adopt its lines and re-check.
+     This is what lets concurrent shards serve each other's trials
+     without reopening the store. *)
+  if not (Hashtbl.mem t.live key) then refresh_locked t;
+  if not (Hashtbl.mem t.live key) then miss ()
+  else
+    match read_file (object_path t key) with
+    | exception Sys_error _ ->
+        (* Journal said live but the file is gone (external deletion or a
+           concurrent GC); settle the books and recompute. *)
+        drop_live t key;
+        append_index t (Printf.sprintf "- %s\n" key);
+        miss ()
+    | raw -> (
+        match Codec.decode raw with
+        | Ok v ->
+            t.hits <- t.hits + 1;
+            Obs.incr "store.hits";
+            Some v
+        | Error err ->
+            quarantine t key err;
+            miss ())
 
-(* Caller holds the mutex. Evict oldest-first until under the bound; the
-   queue may hold keys already evicted or quarantined — skip those. The
-   most recent record survives even when it alone exceeds the bound. *)
+let find t ~key = Mutex.protect t.mutex (fun () -> find_locked t ~key)
+
+(* Whether [key] currently resolves, without touching the hit/miss
+   counters — the polling primitive of the sharded waiting loop, which
+   may probe a pending trial many times before its owner publishes. *)
+let contains t ~key =
+  Mutex.protect t.mutex (fun () ->
+      if not (Hashtbl.mem t.live key) then refresh_locked t;
+      Hashtbl.mem t.live key)
+
+(* Caller holds the mutex (and, under multi-writer use, the file lock).
+   Evict oldest-first until under the bound, skipping stale queue
+   entries; the newest record always survives even when it alone exceeds
+   the bound. *)
 let enforce_bound t =
   while
     t.total_bytes > t.max_bytes
-    && Queue.length t.order > 0
-    && not (Queue.length t.order = 1 && Hashtbl.mem t.live (Queue.peek t.order))
+    && Hashtbl.length t.live > 1
+    && not (Queue.is_empty t.order)
   do
-    let key = Queue.pop t.order in
-    if Hashtbl.mem t.live key then begin
-      drop_live t key;
-      (try Sys.remove (object_path t key) with Sys_error _ -> ());
-      (* The sidecar capsule rides on its record's lifetime: an evicted
-         trial will be recomputed (and its capsule re-sealed) anyway. *)
-      (try Sys.remove (capsule_path t key) with Sys_error _ -> ());
-      append_index t (Printf.sprintf "- %s\n" key);
-      t.evictions <- t.evictions + 1;
-      Obs.incr "store.evictions"
-    end
+    let key, seq = Queue.pop t.order in
+    match Hashtbl.find_opt t.live key with
+    | Some e when e.seq = seq ->
+        drop_live t key;
+        (try Sys.remove (object_path t key) with Sys_error _ -> ());
+        (* The sidecar capsule rides on its record's lifetime: an evicted
+           trial will be recomputed (and its capsule re-sealed) anyway. *)
+        (try Sys.remove (capsule_path t key) with Sys_error _ -> ());
+        append_index t (Printf.sprintf "- %s\n" key);
+        t.evictions <- t.evictions + 1;
+        Obs.incr "store.evictions"
+    | _ -> () (* stale entry: already evicted/quarantined/superseded *)
   done
 
 let add t ~key ~experiment v =
   if not (is_hex_key key) then invalid_arg "Store.add: malformed key";
   let record = Codec.encode ~experiment v in
   Mutex.protect t.mutex (fun () ->
-      let path = object_path t key in
-      mkdir_p (Filename.dirname path);
-      write_file_atomic path record;
-      if not (Hashtbl.mem t.live key) then begin
-        let size = String.length record in
-        Hashtbl.replace t.live key size;
-        Queue.push key t.order;
-        t.total_bytes <- t.total_bytes + size;
-        append_index t (index_line_add key size experiment)
-      end;
-      t.writes <- t.writes + 1;
-      Obs.incr "store.writes";
-      enforce_bound t)
+      with_file_lock t (fun () ->
+          (* Adopt concurrent writers' adds/evictions first, so the GC
+             below reasons about the store's real size, not this handle's
+             stale view of it. *)
+          refresh_locked t;
+          let path = object_path t key in
+          mkdir_p (Filename.dirname path);
+          write_file_atomic path record;
+          if not (Hashtbl.mem t.live key) then begin
+            let size = String.length record in
+            let seq = t.next_seq in
+            t.next_seq <- seq + 1;
+            Hashtbl.replace t.live key { size; seq };
+            Queue.push (key, seq) t.order;
+            t.total_bytes <- t.total_bytes + size;
+            append_index t (index_line_add key size experiment)
+          end;
+          t.writes <- t.writes + 1;
+          Obs.incr "store.writes";
+          enforce_bound t))
+
+(* ---- claims ----
+
+   A claim is a lease on one pending trial: `claims/<key>.lease` holding
+   "pid host expiry" (expiry in Unix seconds). Workers claim a trial
+   before computing it so peers can tell "someone is on this" from "the
+   owner died"; a lease is stale once its expiry passes, or sooner when
+   it names a provably-dead pid on this host. Claim handoffs run under
+   the store-wide file lock, so two workers can never both win a steal.
+   Claims are advisory: losing or duplicating one costs at most one
+   redundant recomputation of a pure trial (the duplicate add rewrites
+   identical bytes), never a wrong result. *)
+
+type lease = { lease_pid : int; lease_host : string; lease_expiry : float }
+
+let hostname = lazy (
+  String.map (fun c -> if c = ' ' then '_' else c) (Unix.gethostname ()))
+
+let read_lease_file path =
+  match read_file path with
+  | exception Sys_error _ -> None
+  | raw -> (
+      match String.split_on_char ' ' (String.trim raw) with
+      | [ pid; host; expiry ] -> (
+          match (int_of_string_opt pid, float_of_string_opt expiry) with
+          | Some p, Some e ->
+              Some { lease_pid = p; lease_host = host; lease_expiry = e }
+          | _ -> None)
+      | _ -> None)
+
+let lease_live l =
+  let now = Unix.gettimeofday () in
+  l.lease_expiry > now
+  && not
+       (l.lease_host = Lazy.force hostname
+       && l.lease_pid <> Unix.getpid ()
+       &&
+       match Unix.kill l.lease_pid 0 with
+       | () -> false
+       | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+       | exception Unix.Unix_error _ -> false)
+
+let claim_lease t ~key =
+  if not (is_hex_key key) then invalid_arg "Store.claim_lease: malformed key";
+  Mutex.protect t.mutex (fun () -> read_lease_file (claim_path t key))
+
+let try_claim t ~key ~ttl_s =
+  if not (is_hex_key key) then invalid_arg "Store.try_claim: malformed key";
+  if ttl_s <= 0.0 then invalid_arg "Store.try_claim: ttl_s must be positive";
+  Mutex.protect t.mutex (fun () ->
+      with_file_lock t (fun () ->
+          let path = claim_path t key in
+          let grant ~stolen =
+            mkdir_p (claims_dir t.dir);
+            write_file_atomic path
+              (Printf.sprintf "%d %s %.3f\n" (Unix.getpid ())
+                 (Lazy.force hostname)
+                 (Unix.gettimeofday () +. ttl_s));
+            t.claims <- t.claims + 1;
+            Obs.incr "store.claims";
+            if stolen then begin
+              t.claim_steals <- t.claim_steals + 1;
+              Obs.incr "store.claim_steals";
+              Log.info (fun m -> m "stole stale lease on %s" key)
+            end;
+            true
+          in
+          match read_lease_file path with
+          | None -> grant ~stolen:false
+          | Some l
+            when l.lease_pid = Unix.getpid ()
+                 && l.lease_host = Lazy.force hostname ->
+              grant ~stolen:false (* our own: refresh the expiry *)
+          | Some l when not (lease_live l) -> grant ~stolen:true
+          | Some _ -> false))
+
+let release_claim t ~key =
+  if not (is_hex_key key) then
+    invalid_arg "Store.release_claim: malformed key";
+  Mutex.protect t.mutex (fun () ->
+      with_file_lock t (fun () ->
+          try Sys.remove (claim_path t key) with Sys_error _ -> ()))
 
 (* ---- capsules ----
 
@@ -340,19 +550,53 @@ let counters t =
         capsule_hits = t.capsule_hits;
         capsule_misses = t.capsule_misses;
         capsule_writes = t.capsule_writes;
+        claims = t.claims;
+        claim_steals = t.claim_steals;
       })
 
 let live_records t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.live)
 let live_bytes t = Mutex.protect t.mutex (fun () -> t.total_bytes)
 
+let invariant_violations t =
+  Mutex.protect t.mutex (fun () ->
+      let v = ref [] in
+      let note fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+      let sum = Hashtbl.fold (fun _ e acc -> acc + e.size) t.live 0 in
+      if sum <> t.total_bytes then
+        note "total_bytes %d <> sum of live sizes %d" t.total_bytes sum;
+      if t.total_bytes < 0 then note "total_bytes negative: %d" t.total_bytes;
+      let seen = Hashtbl.create 16 in
+      Queue.iter
+        (fun (key, seq) ->
+          if seq >= t.next_seq then
+            note "order entry (%s, %d) beyond next_seq %d" key seq t.next_seq;
+          match Hashtbl.find_opt t.live key with
+          | Some e when e.seq = seq ->
+              if Hashtbl.mem seen key then
+                note "live key %s has duplicate valid order entries" key
+              else Hashtbl.replace seen key ()
+          | _ -> ())
+        t.order;
+      Hashtbl.iter
+        (fun key _ ->
+          if not (Hashtbl.mem seen key) then
+            note "live key %s missing from the order queue" key)
+        t.live;
+      List.rev !v)
+
 let summary_line t =
   let c = counters t in
+  let claims =
+    if c.claims = 0 then ""
+    else Printf.sprintf "; claims: %d (%d stolen)" c.claims c.claim_steals
+  in
   Printf.sprintf
     "store: %d hit(s), %d miss(es), %d write(s), %d evicted, %d corrupt; %d \
      record(s), %d bytes live (%s); capsules: %d hit(s), %d miss(es), %d \
-     write(s)"
+     write(s)%s"
     c.hits c.misses c.writes c.evictions c.corrupt (live_records t)
     (live_bytes t) t.dir c.capsule_hits c.capsule_misses c.capsule_writes
+    claims
 
 let ambient = ref None
 let install t = ambient := Some t

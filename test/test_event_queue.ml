@@ -188,6 +188,35 @@ let test_dispatch_allocation_free () =
 
 let far_time = (1 lsl 33) + 12_345 (* beyond the 2^33 window from cur = 0 *)
 
+let test_tombstone_purge_reaches_overflow () =
+  (* Regression (found by the qcheck model): when the wheel holds only
+     tombstones, the [find_next] level scan purges them and empties the
+     wheel mid-scan — it must then still jump the cursor to an
+     out-of-window overflow entry rather than reporting the queue empty. *)
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:100 "a");
+  let hb = Event_queue.push q ~time:200 "b" in
+  ignore (Event_queue.push q ~time:far_time "far");
+  (match Event_queue.pop q with
+  | Some (100, "a") -> ()
+  | _ -> Alcotest.fail "expected event a");
+  (* Only a tombstone remains on the wheel; the sole live event is in the
+     overflow heap, beyond the window. *)
+  Event_queue.cancel q hb;
+  Alcotest.(check (option int)) "peek purges through to the heap"
+    (Some far_time) (Event_queue.peek_time q);
+  let got = ref [] in
+  let n =
+    Event_queue.drain_batch q ~max_events:max_int (fun t v ->
+        got := (t, v) :: !got)
+  in
+  Alcotest.(check int) "one event drained" 1 n;
+  Alcotest.(check (list (pair int string))) "the far event fires"
+    [ (far_time, "far") ] !got;
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q);
+  Alcotest.(check (list string)) "clean after purge-then-jump" []
+    (Event_queue.invariant_violations q)
+
 let test_overflow_tier_refill () =
   (* An event beyond the wheel horizon lives in the overflow heap until the
      wheel empties and the cursor jumps forward to adopt it. *)
@@ -471,6 +500,8 @@ let suite =
     Alcotest.test_case "pop_into dispatch is allocation-free" `Quick
       test_dispatch_allocation_free;
     Alcotest.test_case "overflow tier refill" `Quick test_overflow_tier_refill;
+    Alcotest.test_case "tombstone purge reaches overflow" `Quick
+      test_tombstone_purge_reaches_overflow;
     Alcotest.test_case "cancel mid-cascade" `Quick test_cancel_mid_cascade;
     Alcotest.test_case "stale handle across cascade" `Quick
       test_stale_handle_across_cascade;

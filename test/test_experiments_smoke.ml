@@ -89,9 +89,34 @@ let test_e10_multi_seed () =
         0 r.E.e10_false_negatives)
     [ 1; 7; 123 ]
 
+let test_run_fleet_tiny () =
+  let r = E.run_fleet ~seed:11 ~devices:4 ~window_s:6 () in
+  Alcotest.(check int) "fleet size recorded" 4 r.E.fl_devices;
+  (* 4 devices over 8 classes: only the first 4 classes have members. *)
+  Alcotest.(check int) "one row per populated class" 4
+    (List.length r.E.fl_rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "one device per class" 1 row.E.fr_devices;
+      Alcotest.(check bool) "rounds ran" true (row.E.fr_rounds > 0.0))
+    r.E.fl_rows;
+  Alcotest.(check bool) "baseline measured" true (r.E.fl_baseline > 0.0);
+  (* Faster cadence costs more of the workload than slower — compared
+     within the non-randomized classes, since randomization itself moves
+     overhead and would confound a cross-class comparison. *)
+  match List.filter (fun row -> not row.E.fr_randomized) r.E.fl_rows with
+  | fastest :: rest when rest <> [] ->
+      let slowest = List.nth rest (List.length rest - 1) in
+      Alcotest.(check bool) "faster cadence completes more rounds" true
+        (fastest.E.fr_rounds >= slowest.E.fr_rounds);
+      Alcotest.(check bool) "cadence orders overhead" true
+        (fastest.E.fr_overhead_pct >= slowest.E.fr_overhead_pct)
+  | _ -> Alcotest.fail "need two non-randomized fleet rows"
+
 let suite =
   [
     Alcotest.test_case "run_e8 quick" `Slow test_run_e8_quick;
+    Alcotest.test_case "run_fleet tiny" `Slow test_run_fleet_tiny;
     Alcotest.test_case "run_fig7 tiny" `Slow test_run_fig7_tiny;
     Alcotest.test_case "run_uprober quick" `Slow test_run_uprober_quick;
     Alcotest.test_case "e1/e6 seed independence" `Quick test_run_e1_e6_seed_independence;

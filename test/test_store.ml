@@ -301,6 +301,245 @@ let test_memo_without_store_is_plain_map () =
   let r = Memo.map Runner.sequential ~experiment:"plain" ~seed:1 5 trial in
   Alcotest.(check bool) "plain map" true (r = Array.init 5 trial)
 
+(* ---- multi-writer: two handles on one directory ---- *)
+
+let test_store_two_handles () =
+  let dir = tmp_dir () in
+  let a = Store.open_ dir in
+  let b = Store.open_ dir in
+  let key i = Key.make ~experiment:"mw" ~seed:3 ~trial_index:i () in
+  Store.add a ~key:(key 0) ~experiment:"mw" "from-a";
+  (* B has never seen this key: its find must refresh from the journal
+     and serve A's record as a hit, not recompute-worthy miss. *)
+  Alcotest.(check (option string))
+    "B sees A's add without reopening" (Some "from-a")
+    (Store.find b ~key:(key 0));
+  Store.add b ~key:(key 1) ~experiment:"mw" "from-b";
+  Alcotest.(check (option string))
+    "A sees B's add" (Some "from-b")
+    (Store.find a ~key:(key 1));
+  Alcotest.(check (list string)) "A invariants clean" []
+    (Store.invariant_violations a);
+  Alcotest.(check (list string)) "B invariants clean" []
+    (Store.invariant_violations b);
+  Store.sync a;
+  Store.sync b;
+  Alcotest.(check int) "A sees both live" 2 (Store.live_records a);
+  Alcotest.(check int) "B sees both live" 2 (Store.live_records b);
+  Store.close a;
+  Store.close b;
+  (* Every journal line must be complete and well-formed — no torn or
+     interleaved writes from the two handles. *)
+  let ic = open_in_bin (Filename.concat dir "index.log") in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check bool)
+    "journal newline-terminated" true
+    (String.length raw > 0 && raw.[String.length raw - 1] = '\n');
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "+"; k; size; "mw" ] ->
+            Alcotest.(check bool) "key is hex" true (String.length k = 32);
+            Alcotest.(check bool)
+              "size numeric" true
+              (int_of_string_opt size <> None)
+        | [ ("-" | "!"); _ ] -> ()
+        | _ -> Alcotest.failf "malformed journal line %S" line)
+    (String.split_on_char '\n' raw);
+  let c = Store.open_ dir in
+  Alcotest.(check int) "reopen sees both" 2 (Store.live_records c);
+  Alcotest.(check (list string)) "reopen invariants clean" []
+    (Store.invariant_violations c);
+  Store.close c
+
+(* ---- consistency under arbitrary add/evict/quarantine interleavings ---- *)
+
+type store_op = Op_add of int | Op_find of int | Op_corrupt of int
+
+let op_arb =
+  QCheck.(
+    map
+      (fun (which, k) ->
+        match which mod 3 with
+        | 0 -> Op_add k
+        | 1 -> Op_find k
+        | _ -> Op_corrupt k)
+      (pair int (int_bound 5)))
+
+let object_path_of dir key =
+  Filename.concat dir
+    (Filename.concat "objects"
+       (Filename.concat (String.sub key 0 2)
+          (Filename.concat (String.sub key 2 2) (key ^ ".rec"))))
+
+let prop_store_consistent =
+  (* A small bound forces constant eviction, and re-adding an evicted key
+     exercises the stale-order-entry paths; after every op the live
+     table, order queue, and byte total must agree. *)
+  QCheck.Test.make ~count:60 ~name:"store invariants hold under any op mix"
+    QCheck.(list_of_size (Gen.int_range 1 40) op_arb)
+    (fun ops ->
+      let dir = tmp_dir () in
+      let s = Store.open_ ~max_bytes:700 dir in
+      let key i = Key.make ~experiment:"prop" ~seed:1 ~trial_index:i () in
+      List.iter
+        (fun op ->
+          (match op with
+          | Op_add i ->
+              Store.add s ~key:(key i) ~experiment:"prop"
+                (String.make 200 (Char.chr (97 + i)))
+          | Op_find i -> ignore (Store.find s ~key:(key i) : string option)
+          | Op_corrupt i ->
+              let path = object_path_of dir (key i) in
+              if Sys.file_exists path then begin
+                let oc = open_out_bin path in
+                output_string oc "garbage";
+                close_out oc;
+                ignore (Store.find s ~key:(key i) : string option)
+              end);
+          match Store.invariant_violations s with
+          | [] -> ()
+          | v ->
+              QCheck.Test.fail_reportf "after op: %s" (String.concat "; " v))
+        ops;
+      let s2 = Store.open_ ~max_bytes:700 dir in
+      let ok =
+        Store.invariant_violations s2 = []
+        && Store.live_records s2 = Store.live_records s
+      in
+      Store.close s;
+      Store.close s2;
+      ok)
+
+(* ---- mkdir_p ---- *)
+
+let test_mkdir_p () =
+  let dir = tmp_dir () in
+  let deep = List.fold_left Filename.concat dir [ "a"; "b"; "c"; "d" ] in
+  Store.mkdir_p deep;
+  Alcotest.(check bool) "deep path created" true (Sys.is_directory deep);
+  (* Idempotent: every level already existing is success, not an error. *)
+  Store.mkdir_p deep;
+  (* Racing creators: domains hammering the same fan-out path must all
+     succeed (the old file_exists-then-mkdir version threw EEXIST here). *)
+  let race = List.fold_left Filename.concat dir [ "race"; "x"; "y" ] in
+  let domains =
+    Array.init 4 (fun _ -> Domain.spawn (fun () -> Store.mkdir_p race))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check bool) "raced path created" true (Sys.is_directory race);
+  (* Relative paths terminate: dirname's fixpoint is ".", which exists. *)
+  let cwd = Sys.getcwd () in
+  Store.mkdir_p dir;
+  Sys.chdir dir;
+  Fun.protect
+    ~finally:(fun () -> Sys.chdir cwd)
+    (fun () ->
+      Store.mkdir_p "rel/sub/dir";
+      Alcotest.(check bool)
+        "relative path created" true
+        (Sys.is_directory "rel/sub/dir"))
+
+(* ---- claims ---- *)
+
+let test_claims () =
+  let dir = tmp_dir () in
+  let s = Store.open_ dir in
+  let key = Key.make ~experiment:"claim" ~seed:1 ~trial_index:0 () in
+  Alcotest.(check bool) "fresh claim granted" true
+    (Store.try_claim s ~key ~ttl_s:30.0);
+  Alcotest.(check bool) "own claim re-granted (refresh)" true
+    (Store.try_claim s ~key ~ttl_s:30.0);
+  (match Store.claim_lease s ~key with
+  | Some l ->
+      Alcotest.(check int) "lease names us" (Unix.getpid ()) l.Store.lease_pid;
+      Alcotest.(check bool) "lease live" true (Store.lease_live l)
+  | None -> Alcotest.fail "granted lease unreadable");
+  Store.release_claim s ~key;
+  Alcotest.(check bool) "released lease gone" true
+    (Store.claim_lease s ~key = None);
+  (* A lease held by another host is respected until its expiry passes. *)
+  let lease_file = Filename.concat dir (Filename.concat "claims" (key ^ ".lease")) in
+  let write_lease pid host expiry =
+    let oc = open_out_bin lease_file in
+    Printf.fprintf oc "%d %s %.3f\n" pid host expiry;
+    close_out oc
+  in
+  write_lease 1 "some-other-host" (Unix.gettimeofday () +. 60.0);
+  Alcotest.(check bool) "foreign live lease blocks" false
+    (Store.try_claim s ~key ~ttl_s:30.0);
+  write_lease 1 "some-other-host" (Unix.gettimeofday () -. 1.0);
+  Alcotest.(check bool) "expired lease stolen" true
+    (Store.try_claim s ~key ~ttl_s:30.0);
+  (* A same-host lease whose pid is provably dead is stolen before its
+     expiry. (Scanned for, not forked: on OCaml 5 [Unix.fork] is refused
+     once any test has spawned a domain.) *)
+  let dead_pid =
+    let rec scan p =
+      if p < 2 then Alcotest.fail "no dead pid found"
+      else
+        match Unix.kill p 0 with
+        | () -> scan (p - 1)
+        | exception Unix.Unix_error (Unix.ESRCH, _, _) -> p
+        | exception Unix.Unix_error _ -> scan (p - 1)
+    in
+    scan 99999
+  in
+  let host =
+    String.map (fun c -> if c = ' ' then '_' else c) (Unix.gethostname ())
+  in
+  write_lease dead_pid host (Unix.gettimeofday () +. 60.0);
+  Alcotest.(check bool) "dead-pid lease stolen" true
+    (Store.try_claim s ~key ~ttl_s:30.0);
+  let c = Store.counters s in
+  Alcotest.(check int) "claims counted" 4 c.Store.claims;
+  Alcotest.(check int) "steals counted" 2 c.Store.claim_steals;
+  Store.close s
+
+(* ---- sharded memo ---- *)
+
+let test_memo_sharded () =
+  let dir = tmp_dir () in
+  let expected = Array.init 8 trial in
+  let run () =
+    Memo.map Runner.sequential ~experiment:"shard" ~seed:3
+      ~config:[ ("n", "8") ]
+      8 trial
+  in
+  Memo.set_lease_ttl 0.2;
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.set_shard None;
+      Memo.set_lease_ttl 60.0)
+    (fun () ->
+      (* A lone shard: it computes its owned half immediately and, after
+         the grace (one TTL) with no peer claiming, steals the rest — so
+         it still returns the full, unsharded-identical result array. *)
+      let claims =
+        with_store dir (fun s ->
+            Memo.set_shard (Some (0, 2));
+            let r = run () in
+            Alcotest.(check bool) "lone shard = unsharded" true (r = expected);
+            Alcotest.(check (list string)) "invariants clean" []
+              (Store.invariant_violations s);
+            (Store.counters s).Store.claims)
+      in
+      Alcotest.(check bool) "lone shard claimed trials" true (claims > 0);
+      (* Warm pass as the other shard: everything resolves in phase 1. *)
+      with_store dir (fun s ->
+          Memo.set_shard (Some (1, 2));
+          let r = run () in
+          Alcotest.(check bool) "warm other shard = unsharded" true
+            (r = expected);
+          let c = Store.counters s in
+          Alcotest.(check int) "warm pass all hits" 8 c.Store.hits;
+          Alcotest.(check int) "warm pass no misses" 0 c.Store.misses))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_codec_roundtrip;
@@ -323,4 +562,10 @@ let suite =
       test_memo_warm_matches_any_pool_width;
     Alcotest.test_case "memo without store" `Quick
       test_memo_without_store_is_plain_map;
+    Alcotest.test_case "store two handles, one dir" `Quick
+      test_store_two_handles;
+    QCheck_alcotest.to_alcotest prop_store_consistent;
+    Alcotest.test_case "mkdir_p create-first" `Quick test_mkdir_p;
+    Alcotest.test_case "claims: grant, block, steal" `Quick test_claims;
+    Alcotest.test_case "memo sharded in-process" `Quick test_memo_sharded;
   ]
