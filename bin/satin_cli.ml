@@ -254,6 +254,16 @@ let cache_channel =
     (fun _pool seed quick ->
       E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ()))
 
+let cache_fidelity =
+  campaign "cache-fidelity"
+    "Side-channel fidelity grid: prober mode x replacement policy x AutoLock"
+    (fun pool seed quick ->
+      E.print_cache_fidelity fmt
+        (E.run_cache_fidelity ~pool ~seed
+           ~trials:(if quick then 1 else 2)
+           ~window_s:(if quick then 6 else 10)
+           ()))
+
 let sweep = campaign "sweep" "Tgoal coverage/overhead sweep"
     (fun pool seed quick ->
       E.print_tgoal_sweep fmt
@@ -354,6 +364,13 @@ let campaign_experiments : (string * (Runner.t -> int -> bool -> unit)) list =
     ( "cache-channel",
       fun _pool seed quick ->
         E.print_e14 fmt (E.run_e14 ~seed ~passes:(if quick then 1 else 3) ()) );
+    ( "cache-fidelity",
+      fun pool seed quick ->
+        E.print_cache_fidelity fmt
+          (E.run_cache_fidelity ~pool ~seed
+             ~trials:(if quick then 1 else 2)
+             ~window_s:(if quick then 6 else 10)
+             ()) );
     ( "sweep",
       fun pool seed quick ->
         E.print_tgoal_sweep fmt
@@ -760,8 +777,9 @@ let main =
   Cmd.group (Cmd.info "satin_cli" ~version:"1.1.0" ~doc)
     [
       e1; table1; e3; uprober; table2; fig4; e6; race; timeline; evasion;
-      areas; satin_detect; fig7; ablation; dkom; cache_channel; sweep; inject;
-      degrade; fleet; all; fingerprint; campaign_cmd; telemetry_cmd;
+      areas; satin_detect; fig7; ablation; dkom; cache_channel; cache_fidelity;
+      sweep; inject; degrade; fleet; all; fingerprint; campaign_cmd;
+      telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval main)

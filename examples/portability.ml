@@ -37,7 +37,7 @@ let () =
   let checker =
     Checker.create ~memory:platform.Platform.memory ~cycle
       ~prng:(Platform.split_prng platform) ~algo:Satin_introspect.Hash.Djb2
-      ~style:Checker.Direct_hash
+      ~style:Checker.Direct_hash ()
   in
 
   (* The slower privileged-mode switch changes the race budget. *)

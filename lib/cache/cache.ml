@@ -1,0 +1,360 @@
+module Prng = Satin_engine.Prng
+module Obs = Satin_obs.Obs
+
+type geometry = { sets : int; ways : int; line : int }
+
+type config = {
+  l1 : geometry;
+  l2 : geometry;
+  policy : Policy.kind;
+  autolock : bool;
+}
+
+let default_config =
+  {
+    l1 = { sets = 32; ways = 16; line = 64 };
+    l2 = { sets = 1024; ways = 16; line = 64 };
+    policy = Policy.Tree_plru;
+    autolock = false;
+  }
+
+let geometry_bytes g = g.sets * g.ways * g.line
+
+let config_to_key c =
+  [
+    ( "l1",
+      Printf.sprintf "%dx%dx%d" c.l1.sets c.l1.ways c.l1.line );
+    ( "l2",
+      Printf.sprintf "%dx%dx%d" c.l2.sets c.l2.ways c.l2.line );
+    ("policy", Policy.kind_to_string c.policy);
+    ("autolock", if c.autolock then "on" else "off");
+  ]
+
+type stats = { hits : int; misses : int; evictions : int }
+
+(* One physical level: tags.(set * ways + way) is the line address (-1 =
+   invalid), pol is the policy's per-set state, incl (L2 only) the per-line
+   bitmask of cores whose L1 holds the line. *)
+type level = {
+  geo : geometry;
+  tags : int array;
+  pol : int array;
+  pol_words : int;
+  incl : int array; (* length 0 for L1 *)
+}
+
+type t = {
+  cfg : config;
+  clusters : int array array;
+  cluster_of : int array;
+  l1s : level array; (* per core *)
+  l2s : level array; (* per cluster *)
+  prng : Prng.t;
+  mutable tick : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l1_evictions : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable l2_evictions : int;
+  mutable autolock_skips : int;
+  mutable back_invals : int;
+  (* publish watermarks *)
+  mutable p_l1_hits : int;
+  mutable p_l1_misses : int;
+  mutable p_l2_hits : int;
+  mutable p_l2_misses : int;
+  mutable p_l2_evictions : int;
+  mutable p_autolock_skips : int;
+  mutable p_back_invals : int;
+}
+
+let check_geometry name g ~line =
+  if g.sets <= 0 || g.line <= 0 then
+    invalid_arg (Printf.sprintf "Cache.create: bad %s geometry" name);
+  if g.line land (g.line - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Cache.create: %s line size not a power of two" name);
+  if g.line <> line then
+    invalid_arg "Cache.create: L1 and L2 line sizes must match"
+
+let make_level policy g =
+  let pol_words = Policy.state_words policy ~ways:g.ways in
+  let lvl =
+    {
+      geo = g;
+      tags = Array.make (g.sets * g.ways) (-1);
+      pol = Array.make (g.sets * pol_words) 0;
+      pol_words;
+      incl = [||];
+    }
+  in
+  for s = 0 to g.sets - 1 do
+    Policy.init policy ~state:lvl.pol ~off:(s * pol_words) ~ways:g.ways
+  done;
+  lvl
+
+let create ?prng ~clusters cfg =
+  let ncores = Array.fold_left (fun a m -> a + Array.length m) 0 clusters in
+  if ncores = 0 then invalid_arg "Cache.create: empty cluster map";
+  if ncores > 62 then invalid_arg "Cache.create: at most 62 cores";
+  Policy.validate cfg.policy ~ways:cfg.l1.ways;
+  Policy.validate cfg.policy ~ways:cfg.l2.ways;
+  check_geometry "l1" cfg.l1 ~line:cfg.l2.line;
+  check_geometry "l2" cfg.l2 ~line:cfg.l2.line;
+  let cluster_of = Array.make ncores (-1) in
+  Array.iteri
+    (fun cl members ->
+      Array.iter
+        (fun core ->
+          if core < 0 || core >= ncores || cluster_of.(core) >= 0 then
+            invalid_arg "Cache.create: clusters must partition the cores";
+          cluster_of.(core) <- cl)
+        members)
+    clusters;
+  if Array.exists (fun c -> c < 0) cluster_of then
+    invalid_arg "Cache.create: clusters must partition the cores";
+  let prng =
+    match prng with Some p -> p | None -> Prng.create (Prng.derive 0x5a71 0)
+  in
+  let l2_of _ =
+    let lvl = make_level cfg.policy cfg.l2 in
+    { lvl with incl = Array.make (cfg.l2.sets * cfg.l2.ways) 0 }
+  in
+  {
+    cfg;
+    clusters;
+    cluster_of;
+    l1s = Array.init ncores (fun _ -> make_level cfg.policy cfg.l1);
+    l2s = Array.init (Array.length clusters) l2_of;
+    prng;
+    tick = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l1_evictions = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    l2_evictions = 0;
+    autolock_skips = 0;
+    back_invals = 0;
+    p_l1_hits = 0;
+    p_l1_misses = 0;
+    p_l2_hits = 0;
+    p_l2_misses = 0;
+    p_l2_evictions = 0;
+    p_autolock_skips = 0;
+    p_back_invals = 0;
+  }
+
+let config t = t.cfg
+let ncores t = Array.length t.l1s
+let cluster_of_core t ~core = t.cluster_of.(core)
+let line_size t = t.cfg.l1.line
+let l2_sets t = t.cfg.l2.sets
+let l2_ways t = t.cfg.l2.ways
+let l2_set_of_addr t ~addr = addr / t.cfg.l2.line mod t.cfg.l2.sets
+
+let eviction_set t ~l2_set ~base =
+  let { sets; ways; line } = t.cfg.l2 in
+  if l2_set < 0 || l2_set >= sets then invalid_arg "Cache.eviction_set: bad set";
+  let first =
+    let l0 = (base / (line * sets) * sets) + l2_set in
+    if l0 * line >= base then l0 else l0 + sets
+  in
+  Array.init ways (fun k -> (first + (k * sets)) * line)
+
+(* ---- per-level helpers ---- *)
+
+let find lvl tag =
+  let set = tag mod lvl.geo.sets in
+  let base = set * lvl.geo.ways in
+  let found = ref (-1) and w = ref 0 in
+  while !found < 0 && !w < lvl.geo.ways do
+    if Array.unsafe_get lvl.tags (base + !w) = tag then found := !w;
+    incr w
+  done;
+  !found
+
+let touch_way t lvl ~set ~way =
+  t.tick <- t.tick + 1;
+  Policy.touch t.cfg.policy ~state:lvl.pol ~off:(set * lvl.pol_words)
+    ~ways:lvl.geo.ways ~way ~tick:t.tick
+
+let invalid_way lvl ~set =
+  let base = set * lvl.geo.ways in
+  let found = ref (-1) and w = ref 0 in
+  while !found < 0 && !w < lvl.geo.ways do
+    if Array.unsafe_get lvl.tags (base + !w) < 0 then found := !w;
+    incr w
+  done;
+  !found
+
+(* Drop [tag] from [core]'s L1 and clear its inclusion bit in the cluster
+   L2 (when the line is there). *)
+let l1_invalidate t ~core tag =
+  let l1 = t.l1s.(core) in
+  let way = find l1 tag in
+  if way >= 0 then begin
+    l1.tags.((tag mod l1.geo.sets * l1.geo.ways) + way) <- -1;
+    t.back_invals <- t.back_invals + 1
+  end
+
+let incl_clear l2 ~core tag =
+  let way = find l2 tag in
+  if way >= 0 then begin
+    let i = (tag mod l2.geo.sets * l2.geo.ways) + way in
+    l2.incl.(i) <- l2.incl.(i) land lnot (1 lsl core)
+  end
+
+(* Fill [tag] into [core]'s L1, evicting if the set is full; an evicted
+   line loses its inclusion bit in the L2 (it may have none if it was
+   installed under the AutoLock non-inclusive fallback). *)
+let l1_fill t ~core tag =
+  let l1 = t.l1s.(core) and l2 = t.l2s.(t.cluster_of.(core)) in
+  let set = tag mod l1.geo.sets in
+  let base = set * l1.geo.ways in
+  let way =
+    match invalid_way l1 ~set with
+    | -1 ->
+        let v =
+          Policy.victim t.cfg.policy ~state:l1.pol ~off:(set * l1.pol_words)
+            ~ways:l1.geo.ways ~locked:0 ~prng:t.prng
+        in
+        let old = l1.tags.(base + v) in
+        if old >= 0 then begin
+          t.l1_evictions <- t.l1_evictions + 1;
+          incl_clear l2 ~core old
+        end;
+        v
+    | w -> w
+  in
+  l1.tags.(base + way) <- tag;
+  touch_way t l1 ~set ~way;
+  let l2way = find l2 tag in
+  if l2way >= 0 then begin
+    let i = (tag mod l2.geo.sets * l2.geo.ways) + l2way in
+    l2.incl.(i) <- l2.incl.(i) lor (1 lsl core)
+  end
+
+(* Fill [tag] into the cluster L2 on behalf of [core]. Under AutoLock a way
+   is pinned iff its inclusion mask names any core other than the
+   requester — a core may always re-evict its own lines. Returns false when
+   every way is pinned (no allocation happened). *)
+let l2_fill t ~core tag =
+  let l2 = t.l2s.(t.cluster_of.(core)) in
+  let set = tag mod l2.geo.sets in
+  let base = set * l2.geo.ways in
+  let way =
+    match invalid_way l2 ~set with
+    | -1 ->
+        let locked =
+          if not t.cfg.autolock then 0
+          else begin
+            let m = ref 0 and others = lnot (1 lsl core) in
+            for w = 0 to l2.geo.ways - 1 do
+              if l2.incl.(base + w) land others <> 0 then m := !m lor (1 lsl w)
+            done;
+            !m
+          end
+        in
+        let v =
+          Policy.victim t.cfg.policy ~state:l2.pol ~off:(set * l2.pol_words)
+            ~ways:l2.geo.ways ~locked ~prng:t.prng
+        in
+        if v >= 0 then begin
+          let old = l2.tags.(base + v) in
+          t.l2_evictions <- t.l2_evictions + 1;
+          (* Inclusive back-invalidation: every L1 holding the victim
+             drops it. *)
+          let mask = ref l2.incl.(base + v) in
+          let c = ref 0 in
+          while !mask <> 0 do
+            if !mask land 1 <> 0 then l1_invalidate t ~core:!c old;
+            mask := !mask lsr 1;
+            incr c
+          done
+        end;
+        v
+    | w -> w
+  in
+  if way < 0 then begin
+    t.autolock_skips <- t.autolock_skips + 1;
+    false
+  end
+  else begin
+    l2.tags.(base + way) <- tag;
+    l2.incl.(base + way) <- 0;
+    touch_way t l2 ~set ~way;
+    true
+  end
+
+let touch t ~core ~addr =
+  let tag = addr / t.cfg.l1.line in
+  let l1 = t.l1s.(core) in
+  let way = find l1 tag in
+  if way >= 0 then begin
+    t.l1_hits <- t.l1_hits + 1;
+    touch_way t l1 ~set:(tag mod l1.geo.sets) ~way;
+    0
+  end
+  else begin
+    t.l1_misses <- t.l1_misses + 1;
+    let l2 = t.l2s.(t.cluster_of.(core)) in
+    let level =
+      let l2way = find l2 tag in
+      if l2way >= 0 then begin
+        t.l2_hits <- t.l2_hits + 1;
+        touch_way t l2 ~set:(tag mod l2.geo.sets) ~way:l2way;
+        1
+      end
+      else begin
+        t.l2_misses <- t.l2_misses + 1;
+        ignore (l2_fill t ~core tag);
+        2
+      end
+    in
+    l1_fill t ~core tag;
+    level
+  end
+
+let peek t ~core ~addr =
+  let tag = addr / t.cfg.l1.line in
+  if find t.l1s.(core) tag >= 0 then 0
+  else if find t.l2s.(t.cluster_of.(core)) tag >= 0 then 1
+  else 2
+
+let publish t =
+  if Obs.active () then begin
+    let flush name cur prev =
+      let d = cur - prev in
+      if d > 0 then Obs.incr ~by:d name;
+      cur
+    in
+    t.p_l1_hits <- flush "cache.l1.hits" t.l1_hits t.p_l1_hits;
+    t.p_l1_misses <- flush "cache.l1.misses" t.l1_misses t.p_l1_misses;
+    t.p_l2_hits <- flush "cache.l2.hits" t.l2_hits t.p_l2_hits;
+    t.p_l2_misses <- flush "cache.l2.misses" t.l2_misses t.p_l2_misses;
+    t.p_l2_evictions <- flush "cache.l2.evictions" t.l2_evictions t.p_l2_evictions;
+    t.p_autolock_skips <-
+      flush "cache.autolock_skips" t.autolock_skips t.p_autolock_skips;
+    t.p_back_invals <-
+      flush "cache.back_invalidations" t.back_invals t.p_back_invals
+  end
+
+let touch_range t ~core ~addr ~len =
+  if len > 0 then begin
+    let line = t.cfg.l1.line in
+    let first = addr / line and last = (addr + len - 1) / line in
+    for l = first to last do
+      ignore (touch t ~core ~addr:(l * line))
+    done;
+    publish t
+  end
+
+let l1_stats t =
+  { hits = t.l1_hits; misses = t.l1_misses; evictions = t.l1_evictions }
+
+let l2_stats t =
+  { hits = t.l2_hits; misses = t.l2_misses; evictions = t.l2_evictions }
+
+let autolock_skips t = t.autolock_skips
+let back_invalidations t = t.back_invals

@@ -14,7 +14,10 @@ module Areas = Satin_introspect.Area
 module Satin_def = Satin_introspect.Satin
 module Baseline = Satin_introspect.Baseline
 module Round = Satin_introspect.Round
+module Cache = Satin_cache.Cache
+module Cache_policy = Satin_cache.Policy
 module Kprober = Satin_attack.Kprober
+module Cache_prober = Satin_attack.Cache_prober
 module Rootkit = Satin_attack.Rootkit
 module Evader = Satin_attack.Evader
 module Unixbench = Satin_workload.Unixbench
@@ -1909,6 +1912,289 @@ let print_fleet fmt r =
     r.fl_baseline
 
 (* ------------------------------------------------------------------ *)
+(* Cache fidelity — prober mode x replacement policy x AutoLock        *)
+(* ------------------------------------------------------------------ *)
+
+(* Each cell runs the full modeled stack: a scan driver streams a 2 MiB
+   kernel range through core 1's hierarchy at randomized intervals, one
+   CFS spinner per core supplies benign footprint traffic, and the cache
+   prober watches in the cell's fidelity mode over the cell's cache
+   configuration. Ground truth comes from the driver's own scan
+   intervals, so detection rate and false alarms are exact. *)
+
+type cache_cell = {
+  cc_fidelity : Cache_prober.fidelity;
+  cc_policy : Cache_policy.kind;
+  cc_autolock : bool;
+}
+
+let cache_cells =
+  List.concat_map
+    (fun fidelity ->
+      List.concat_map
+        (fun policy ->
+          [
+            { cc_fidelity = fidelity; cc_policy = policy; cc_autolock = false };
+            { cc_fidelity = fidelity; cc_policy = policy; cc_autolock = true };
+          ])
+        Cache_policy.all)
+    [ Cache_prober.Abstract; Cache_prober.Prime_probe; Cache_prober.Evict_reload ]
+
+let cache_config_of_cell cell =
+  {
+    Cache.default_config with
+    Cache.policy = cell.cc_policy;
+    autolock = cell.cc_autolock;
+  }
+
+type cache_trial = {
+  ctr_scans : int;
+  ctr_detected : int;
+  ctr_alarms : int;
+  ctr_false_alarms : int;
+}
+
+(* The introspected range: the first 2 MiB of the kernel image — big
+   enough to sweep every L2 set of the default geometry (1 MiB) twice,
+   small enough for a ~20 ms scan, so a 200 us-period prober sees many
+   rounds inside each scan. *)
+let cache_scan_len layout = min (Layout.total_size layout) (2 * 1024 * 1024)
+
+let cache_fidelity_trial ~seed ~trials ~window_s ~cells ~trial_index =
+  let cell = cells.(trial_index / trials) in
+  let s =
+    Scenario.create ~seed:(derive seed trial_index)
+      ~cache:(cache_config_of_cell cell) ()
+  in
+  let platform = s.Scenario.platform in
+  let engine = Scenario.engine s in
+  let kernel = s.Scenario.kernel in
+  (* One CFS spinner per core: its 8 KiB dispatch footprint is the benign
+     traffic the modeled probers must not mistake for introspection. *)
+  Array.iteri
+    (fun i _ ->
+      Satin_kernel.Kernel.spawn kernel
+        (Satin_kernel.Task.create
+           ~name:(Printf.sprintf "spin/%d" i)
+           ~policy:Satin_kernel.Task.Cfs ~affinity:i
+           ~body:(fun _ ->
+             {
+               Satin_kernel.Task.cpu = Sim_time.us 80;
+               after = (fun () -> Satin_kernel.Task.Sleep (Sim_time.us 420));
+             })
+           ()))
+    platform.Platform.cores;
+  let layout = kernel.Satin_kernel.Kernel.layout in
+  let kbase = Layout.base layout in
+  let scan_len = cache_scan_len layout in
+  ignore (Checker.enroll s.Scenario.checker ~base:kbase ~len:scan_len);
+  let prober =
+    Cache_prober.deploy kernel
+      {
+        Cache_prober.default_config with
+        Cache_prober.fidelity = cell.cc_fidelity;
+        er_region = Some (kbase, scan_len);
+      }
+  in
+  (* Scan driver on core 1 (cluster 0; the prober's cluster-0 thread sits
+     on core 0, so every detection is cross-core): baseline.ml's pattern,
+     with randomized inter-scan gaps from the scenario's split stream. *)
+  let scan_prng = Platform.split_prng platform in
+  let cpu = Platform.core platform 1 in
+  let scans = ref [] in
+  let rec arm_next () =
+    let gap = Prng.uniform scan_prng 0.25 0.6 in
+    ignore
+      (Engine.schedule engine ~after:(Sim_time.of_sec_f gap) (fun () -> scan ()))
+  and scan () =
+    if Cpu.in_secure cpu then arm_next ()
+    else
+      Monitor.enter_secure platform.Platform.monitor ~cpu
+        ~payload:(fun () ->
+          let t0 = Engine.now engine in
+          Checker.start_scan s.Scenario.checker ~engine ~core:cpu ~base:kbase
+            ~len:scan_len
+            ~on_verdict:(fun _ -> scans := (t0, Engine.now engine) :: !scans))
+        ~on_exit:(fun () -> arm_next ())
+        ()
+  in
+  arm_next ();
+  Scenario.run_for s (Sim_time.s window_s);
+  Cache_prober.retire prober;
+  let dets = Cache_prober.detections prober in
+  let period_s = sec Cache_prober.default_config.Cache_prober.period in
+  (* A scan counts as detected when cluster 0 alarmed between its start and
+     two probe periods past its end (the retrospective window). *)
+  let detected =
+    List.fold_left
+      (fun acc (t0, t1) ->
+        let lo = sec t0 and hi = sec t1 +. (2.0 *. period_s) in
+        if
+          List.exists
+            (fun d ->
+              d.Cache_prober.det_cluster = 0
+              &&
+              let ts = sec d.Cache_prober.det_time in
+              ts >= lo && ts <= hi)
+            dets
+        then acc + 1
+        else acc)
+      0 !scans
+  in
+  {
+    ctr_scans = List.length !scans;
+    ctr_detected = detected;
+    ctr_alarms = List.length dets;
+    ctr_false_alarms = Cache_prober.false_alarms prober;
+  }
+
+type cache_row = {
+  cr_fidelity : Cache_prober.fidelity;
+  cr_policy : Cache_policy.kind;
+  cr_autolock : bool;
+  cr_trials : int;
+  cr_scans : int;
+  cr_detected : int;
+  cr_alarms : int;
+  cr_false_alarms : int;
+}
+
+type cache_validation_row = {
+  cv_name : string;
+  cv_bytes : int;
+  cv_l1_rate : float;
+  cv_l2_rate : float;
+  cv_mem_rate : float;
+}
+
+(* Cachetrace-style validation: steady-state hit rates of three canonical
+   working sets against the default geometry. A working set inside the
+   32 KiB L1 must hit L1 ~always; one inside the 1 MiB L2 but past the L1
+   must hit L2 ~always; a 4 MiB stream must miss both. *)
+let cache_validation_workloads =
+  [
+    ("hot loop", 16 * 1024);
+    ("L2-resident", 512 * 1024);
+    ("streaming", 4 * 1024 * 1024);
+  ]
+
+let cache_validation_row (name, bytes) =
+  let cache = Cache.create ~clusters:[| [| 0 |] |] Cache.default_config in
+  let line = Cache.line_size cache in
+  let lines = bytes / line in
+  let base = 1 lsl 20 in
+  for i = 0 to lines - 1 do
+    ignore (Cache.touch cache ~core:0 ~addr:(base + (i * line)))
+  done;
+  let l1 = ref 0 and l2 = ref 0 and mem = ref 0 in
+  for i = 0 to lines - 1 do
+    match Cache.touch cache ~core:0 ~addr:(base + (i * line)) with
+    | 0 -> incr l1
+    | 1 -> incr l2
+    | _ -> incr mem
+  done;
+  let total = float_of_int lines in
+  {
+    cv_name = name;
+    cv_bytes = bytes;
+    cv_l1_rate = float_of_int !l1 /. total;
+    cv_l2_rate = float_of_int !l2 /. total;
+    cv_mem_rate = float_of_int !mem /. total;
+  }
+
+type cache_fidelity_result = {
+  cf_rows : cache_row list;
+  cf_validation : cache_validation_row list;
+  cf_trials : int;
+  cf_window_s : int;
+}
+
+let run_cache_fidelity ?(pool = Runner.sequential) ?(seed = 42) ?(trials = 2)
+    ?(window_s = 10) () =
+  let cells = Array.of_list cache_cells in
+  let results =
+    Memo.map pool ~experiment:"cache-fidelity" ~seed
+      ~config:
+        [ ("trials", string_of_int trials); ("window_s", string_of_int window_s) ]
+      ~trial_config:(fun i ->
+        let cell = cells.(i / trials) in
+        ("fidelity", Cache_prober.fidelity_to_string cell.cc_fidelity)
+        :: Cache.config_to_key (cache_config_of_cell cell))
+      (Array.length cells * trials)
+      (fun i -> cache_fidelity_trial ~seed ~trials ~window_s ~cells ~trial_index:i)
+  in
+  let rows =
+    List.mapi
+      (fun ci cell ->
+        let slice = Array.sub results (ci * trials) trials in
+        let sum f = Array.fold_left (fun a t -> a + f t) 0 slice in
+        {
+          cr_fidelity = cell.cc_fidelity;
+          cr_policy = cell.cc_policy;
+          cr_autolock = cell.cc_autolock;
+          cr_trials = trials;
+          cr_scans = sum (fun t -> t.ctr_scans);
+          cr_detected = sum (fun t -> t.ctr_detected);
+          cr_alarms = sum (fun t -> t.ctr_alarms);
+          cr_false_alarms = sum (fun t -> t.ctr_false_alarms);
+        })
+      cache_cells
+  in
+  {
+    cf_rows = rows;
+    cf_validation = List.map cache_validation_row cache_validation_workloads;
+    cf_trials = trials;
+    cf_window_s = window_s;
+  }
+
+let print_cache_fidelity fmt r =
+  Format.fprintf fmt "%s"
+    (Report.section
+       (Printf.sprintf
+          "Cache fidelity: prober mode x replacement policy x AutoLock (%d \
+           trial(s)/cell, %d s windows)"
+          r.cf_trials r.cf_window_s));
+  Format.fprintf fmt "%s"
+    (Report.table
+       ~header:
+         [ "mode"; "policy"; "AutoLock"; "scans"; "detected"; "false alarms" ]
+       (List.map
+          (fun row ->
+            [
+              Cache_prober.fidelity_to_string row.cr_fidelity;
+              Cache_policy.kind_to_string row.cr_policy;
+              (if row.cr_autolock then "on" else "off");
+              string_of_int row.cr_scans;
+              (if row.cr_scans = 0 then "n/a"
+               else
+                 Printf.sprintf "%d/%d (%.0f%%)" row.cr_detected row.cr_scans
+                   (100.0
+                   *. float_of_int row.cr_detected
+                   /. float_of_int row.cr_scans));
+              string_of_int row.cr_false_alarms;
+            ])
+          r.cf_rows));
+  Format.fprintf fmt "%s"
+    (Report.table
+       ~header:[ "working set"; "size"; "L1 hits"; "L2 hits"; "memory" ]
+       (List.map
+          (fun v ->
+            [
+              v.cv_name;
+              Printf.sprintf "%d KiB" (v.cv_bytes / 1024);
+              Report.pct (100.0 *. v.cv_l1_rate);
+              Report.pct (100.0 *. v.cv_l2_rate);
+              Report.pct (100.0 *. v.cv_mem_rate);
+            ])
+          r.cf_validation));
+  Format.fprintf fmt
+    "AutoLock pins the attacker's L1-resident eviction sets against the \
+     scanning core: prime+probe detection collapses (or, under LRU, drowns \
+     in locked-set false alarms); evict+reload survives via own-line \
+     re-eviction, random replacement defeats single-pass eviction outright; \
+     the abstract rows are cache-blind controls@."
+
+(* ------------------------------------------------------------------ *)
 (* run_all                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1954,6 +2240,11 @@ let run_all ?(pool = Runner.sequential) ?(seed = 42) ?(quick = false) fmt =
       run_e13 ~seed ~checks:(if quick then 10 else 30) ());
   timed "e14" print_e14 fmt (fun () ->
       run_e14 ~seed ~passes:(if quick then 1 else 3) ());
+  timed "cache_fidelity" print_cache_fidelity fmt (fun () ->
+      run_cache_fidelity ~pool ~seed
+        ~trials:(if quick then 1 else 2)
+        ~window_s:(if quick then 6 else 10)
+        ());
   timed "tgoal_sweep" print_tgoal_sweep fmt (fun () ->
       run_tgoal_sweep ~pool ~seed
         ~trials:(if quick then 2 else 4)

@@ -462,6 +462,84 @@ val run_fleet :
 
 val print_fleet : Format.formatter -> fleet_result -> unit
 
+(** {1 Cache fidelity — prober mode x replacement policy x AutoLock}
+
+    The side-channel grid over the modeled L1/L2 hierarchy
+    ({!Satin_cache.Cache}): every combination of prober fidelity
+    ({!Satin_attack.Cache_prober.fidelity}), replacement policy and the
+    AutoLock toggle runs the full stack — a scan driver streaming a 2 MiB
+    kernel range through core 1 at randomized intervals, per-core CFS
+    spinners for benign footprint noise, and the prober watching from the
+    cluster's first core. Ground truth comes from the driver's own scan
+    intervals. Plus a cachetrace-style hit-rate validation table for the
+    hierarchy itself. *)
+
+type cache_cell = {
+  cc_fidelity : Satin_attack.Cache_prober.fidelity;
+  cc_policy : Satin_cache.Policy.kind;
+  cc_autolock : bool;
+}
+
+val cache_cells : cache_cell list
+(** 18 cells: {abstract, prime+probe, evict+reload} x {lru, tree-plru,
+    random} x {AutoLock off, on}. *)
+
+val cache_config_of_cell : cache_cell -> Satin_cache.Cache.config
+
+type cache_trial = {
+  ctr_scans : int; (** scans the driver completed inside the window *)
+  ctr_detected : int; (** scans with a cluster-0 alarm inside their window *)
+  ctr_alarms : int; (** alarm rounds fired, both clusters *)
+  ctr_false_alarms : int; (** alarms with no secure residency to explain them *)
+}
+
+val cache_fidelity_trial :
+  seed:int ->
+  trials:int ->
+  window_s:int ->
+  cells:cache_cell array ->
+  trial_index:int ->
+  cache_trial
+(** Cell [trial_index / trials], trial seed [derive seed trial_index]. *)
+
+type cache_row = {
+  cr_fidelity : Satin_attack.Cache_prober.fidelity;
+  cr_policy : Satin_cache.Policy.kind;
+  cr_autolock : bool;
+  cr_trials : int;
+  cr_scans : int;
+  cr_detected : int;
+  cr_alarms : int;
+  cr_false_alarms : int;
+}
+
+type cache_validation_row = {
+  cv_name : string;
+  cv_bytes : int;
+  cv_l1_rate : float; (** steady-state fraction of accesses served by L1 *)
+  cv_l2_rate : float;
+  cv_mem_rate : float;
+}
+
+type cache_fidelity_result = {
+  cf_rows : cache_row list;
+  cf_validation : cache_validation_row list;
+  cf_trials : int;
+  cf_window_s : int;
+}
+
+val run_cache_fidelity :
+  ?pool:Runner.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?window_s:int ->
+  unit ->
+  cache_fidelity_result
+(** Defaults: 2 trials per cell, 10 s windows. The cell's fidelity mode and
+    full cache configuration are part of every trial's store key. *)
+
+val print_cache_fidelity : Format.formatter -> cache_fidelity_result -> unit
+
 (** {1 Everything} *)
 
 val run_all : ?pool:Runner.t -> ?seed:int -> ?quick:bool -> Format.formatter -> unit

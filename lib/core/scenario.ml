@@ -17,9 +17,10 @@ type t = {
 let secure_base = 24 * 1024 * 1024
 let secure_size = 1024 * 1024
 
-let create ?(seed = 42) ?cycle ?layout ?(algo = Satin_introspect.Hash.Djb2)
+let create ?(seed = 42) ?cycle ?cache ?layout
+    ?(algo = Satin_introspect.Hash.Djb2)
     ?(style = Satin_introspect.Checker.Direct_hash) () =
-  let platform = Platform.juno_r1 ~seed ?cycle () in
+  let platform = Platform.juno_r1 ~seed ?cycle ?cache () in
   (* The engine observer feeds the global sink and/or the current domain's
      capsule capture; track naming is a sink-only (tracing) concern. *)
   if Obs.enabled () || Obs.capturing () then Obs.attach_engine platform.Platform.engine;
@@ -38,9 +39,9 @@ let create ?(seed = 42) ?cycle ?layout ?(algo = Satin_introspect.Hash.Djb2)
       ~base:secure_base ~size:secure_size
   in
   let checker =
-    Satin_introspect.Checker.create ~memory:platform.Platform.memory
-      ~cycle:platform.Platform.cycle ~prng:(Platform.split_prng platform) ~algo
-      ~style
+    Satin_introspect.Checker.create ~cache:platform.Platform.cache
+      ~memory:platform.Platform.memory ~cycle:platform.Platform.cycle
+      ~prng:(Platform.split_prng platform) ~algo ~style ()
   in
   (* Under --check, every scenario carries its own sanitizer instance
      (domain-confined; aggregates are global atomics), chained after any

@@ -22,12 +22,14 @@ type t = {
 val create :
   ?seed:int ->
   ?cycle:Satin_hw.Cycle_model.t ->
+  ?cache:Satin_cache.Cache.config ->
   ?layout:Satin_kernel.Layout.t ->
   ?algo:Satin_introspect.Hash.algo ->
   ?style:Satin_introspect.Checker.style ->
   unit ->
   t
-(** Defaults: seed 42, Juno r1 calibration, the paper kernel layout, djb2,
+(** Defaults: seed 42, Juno r1 calibration, the default cache geometry
+    ({!Satin_cache.Cache.default_config}), the paper kernel layout, djb2,
     direct hash. *)
 
 val run_for : t -> Satin_engine.Sim_time.t -> unit

@@ -219,6 +219,48 @@ let e14 (r : Experiment.e14_result) =
       ("uptime_fraction", Json.float r.Experiment.e14_uptime_fraction);
     ]
 
+let cache_fidelity (r : Experiment.cache_fidelity_result) =
+  Json.Obj
+    [
+      ("trials", Json.Int r.Experiment.cf_trials);
+      ("window_s", Json.Int r.Experiment.cf_window_s);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : Experiment.cache_row) ->
+               Json.Obj
+                 [
+                   ( "fidelity",
+                     Json.String
+                       (Satin_attack.Cache_prober.fidelity_to_string
+                          row.Experiment.cr_fidelity) );
+                   ( "policy",
+                     Json.String
+                       (Satin_cache.Policy.kind_to_string
+                          row.Experiment.cr_policy)
+                   );
+                   ("autolock", Json.Bool row.Experiment.cr_autolock);
+                   ("scans", Json.Int row.Experiment.cr_scans);
+                   ("detected", Json.Int row.Experiment.cr_detected);
+                   ("alarms", Json.Int row.Experiment.cr_alarms);
+                   ("false_alarms", Json.Int row.Experiment.cr_false_alarms);
+                 ])
+             r.Experiment.cf_rows) );
+      ( "validation",
+        Json.List
+          (List.map
+             (fun (row : Experiment.cache_validation_row) ->
+               Json.Obj
+                 [
+                   ("workload", Json.String row.Experiment.cv_name);
+                   ("bytes", Json.Int row.Experiment.cv_bytes);
+                   ("l1_rate", Json.float row.Experiment.cv_l1_rate);
+                   ("l2_rate", Json.float row.Experiment.cv_l2_rate);
+                   ("mem_rate", Json.float row.Experiment.cv_mem_rate);
+                 ])
+             r.Experiment.cf_validation) );
+    ]
+
 let sweep (r : Experiment.sweep_result) =
   Json.Obj
     [

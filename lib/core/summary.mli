@@ -32,6 +32,7 @@ val fig7 : Experiment.fig7_result -> Json.t
 val ablation : Experiment.ablation_result -> Json.t
 val e13 : Experiment.e13_result -> Json.t
 val e14 : Experiment.e14_result -> Json.t
+val cache_fidelity : Experiment.cache_fidelity_result -> Json.t
 val sweep : Experiment.sweep_result -> Json.t
 val inject : Experiment.inject_result -> Json.t
 val degrade : Experiment.degrade_result -> Json.t

@@ -40,6 +40,9 @@ type t = {
   cross_read_tail_rate_hz : float;
   tick_hz : int;
   rt_sleep : float;
+  l1_hit : triple;
+  l2_hit : triple;
+  cache_miss : triple;
 }
 
 let hash_a53 = triple ~min_s:9.23e-9 ~avg_s:1.07e-8 ~max_s:1.14e-8
@@ -70,7 +73,20 @@ let default =
     cross_read_tail_rate_hz = 0.004;
     tick_hz = 250;
     rt_sleep = 2.0e-4;
+    (* Load-to-use latencies by serving level, ARMageddon-scale: ~4 ns for
+       an L1 hit, ~20 ns for an L2 hit, ~140 ns for DRAM — the same 20/140
+       split the abstract cache prober already thresholds on. *)
+    l1_hit = triple ~min_s:3.0e-9 ~avg_s:4.0e-9 ~max_s:6.0e-9;
+    l2_hit = triple ~min_s:1.6e-8 ~avg_s:2.0e-8 ~max_s:2.6e-8;
+    cache_miss = triple ~min_s:1.1e-7 ~avg_s:1.4e-7 ~max_s:1.8e-7;
   }
+
+let load_latency prng t ~level =
+  sample prng
+    (match level with
+    | 0 -> t.l1_hit
+    | 1 -> t.l2_hit
+    | _ -> t.cache_miss)
 
 let smm_switch = triple ~min_s:2.4e-5 ~avg_s:3.0e-5 ~max_s:3.6e-5
 

@@ -56,6 +56,9 @@ type t = {
   rt_sleep : float;
       (** KProber-II thread sleep between probe rounds
           (§IV-A1: [Tsleep] = 2×10⁻⁴ s, taken as [Tns_sched]). *)
+  l1_hit : triple;  (** load served by the core's L1 (~4 ns) *)
+  l2_hit : triple;  (** load served by the cluster's shared L2 (~20 ns) *)
+  cache_miss : triple;  (** load served by DRAM (~140 ns) *)
 }
 
 val default : t
@@ -67,6 +70,12 @@ val smm_like : t
     identical cores (both "types" share the A57 byte rates) and an
     order-of-magnitude slower privileged-mode entry (~30 µs SMI-style),
     which shrinks — but does not break — the Equation (2) area bound. *)
+
+val load_latency : Satin_engine.Prng.t -> t -> level:int -> float
+(** One sampled load-to-use latency, keyed by the cache level that served
+    the access as {!Satin_cache.Cache.touch} reports it: [0] L1 hit, [1]
+    L2 hit, anything else DRAM. The modeled cache probers time probes with
+    this instead of the fixed hit/miss constants of the abstract mode. *)
 
 val per_byte_duration :
   Satin_engine.Prng.t -> triple -> bytes:int -> Satin_engine.Sim_time.t

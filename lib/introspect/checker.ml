@@ -5,6 +5,7 @@ module Memory = Satin_hw.Memory
 module World = Satin_hw.World
 module Cpu = Satin_hw.Cpu
 module Cycle_model = Satin_hw.Cycle_model
+module Cache = Satin_cache.Cache
 module Obs = Satin_obs.Obs
 
 type style = Direct_hash | Snapshot
@@ -23,6 +24,10 @@ type t = {
   prng : Prng.t;
   algo : Hash.algo;
   style : style;
+  cache : Cache.t option;
+      (* when present, a scan's streaming reads fill the modeled cache
+         hierarchy as the front advances — the eviction signal the
+         modeled cache probers time (DESIGN §14) *)
   golden : (int * int, golden) Hashtbl.t; (* keyed by (base, len) *)
   mutable scratch : Bytes.t;
       (* [Snapshot]-style capture buffer, hoisted to checker creation and
@@ -35,13 +40,14 @@ type t = {
   mutable tampered : int;
 }
 
-let create ~memory ~cycle ~prng ~algo ~style =
+let create ?cache ~memory ~cycle ~prng ~algo ~style () =
   {
     memory;
     cycle;
     prng;
     algo;
     style;
+    cache;
     golden = Hashtbl.create 32;
     scratch = Bytes.create 0;
     scans = 0;
@@ -182,6 +188,27 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
   let front_offset () =
     int_of_float (Sim_time.to_sec_f (Sim_time.diff (Engine.now engine) t0) /. rate_s)
   in
+  (* The scan's streaming reads, replayed into the modeled cache at the
+     pace of the front: one bulk fill per ~16 KiB of progress (256 lines,
+     ~160 us of A53 hashing — finer than the probers' 200 us rounds, so a
+     mid-scan probe sees the eviction set partially evicted, not an
+     instantaneous sweep). Pure cache-state mutation: no PRNG draw, no
+     memory access, so pre-cache experiment outputs are untouched. *)
+  (match t.cache with
+  | Some cache ->
+      let core_id = Cpu.id core in
+      let chunk = 256 * Cache.line_size cache in
+      let rec fill off =
+        if off < len then begin
+          let n = min chunk (len - off) in
+          ignore
+            (Engine.at engine ~time:(pass_time off) (fun () ->
+                 Cache.touch_range cache ~core:core_id ~addr:(base + off) ~len:n));
+          fill (off + chunk)
+        end
+      in
+      fill 0
+  | None -> ());
   let caught : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   (* Check a suspicious range when the scan front passes it: whatever still
      differs from golden there is detected. Long ranges are chunked so the

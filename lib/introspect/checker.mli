@@ -27,12 +27,19 @@ val pp_style : Format.formatter -> style -> unit
 type t
 
 val create :
+  ?cache:Satin_cache.Cache.t ->
   memory:Satin_hw.Memory.t ->
   cycle:Satin_hw.Cycle_model.t ->
   prng:Satin_engine.Prng.t ->
   algo:Hash.algo ->
   style:style ->
+  unit ->
   t
+(** With [?cache] (normally the platform's), every scan also drives the
+    modeled L1/L2 hierarchy: the front's streaming reads are replayed as
+    chunked line fills on the scanning core, pacing the cross-core eviction
+    signal the modeled cache probers detect. Without it, scans leave the
+    cache untouched (the pre-cache behaviour). *)
 
 val algo : t -> Hash.algo
 val style : t -> style

@@ -2,7 +2,22 @@ module Engine = Satin_engine.Engine
 module Sim_time = Satin_engine.Sim_time
 module Cpu = Satin_hw.Cpu
 module Platform = Satin_hw.Platform
+module Cache = Satin_cache.Cache
 module Obs = Satin_obs.Obs
+
+(* Every CFS task owns a fixed 8 KiB working-set footprint in a dedicated
+   address window (above the 32 MiB simulated DRAM — the cache model is
+   presence-only, so footprints need no backing store). Dispatching the
+   task re-touches it on the dispatching core: hot re-dispatches are all
+   cache hits, a migration or a competing working set refills through the
+   shared L2 — the benign-eviction noise floor the cache probers must
+   threshold above. RT tasks (probers, introspection threads) model as
+   footprint-free tight loops. Slots are assigned per scheduler in
+   first-dispatch order — task ids come from a process-global counter, so
+   keying the address on them would make the footprint (and the probers'
+   noise floor) depend on how many tasks earlier scenarios created. *)
+let footprint_bytes = 8192
+let footprint_window = 1 lsl 27
 
 module Params = struct
   let sched_latency = Sim_time.us 6_000
@@ -28,6 +43,7 @@ type core_sched = {
 
 type t = {
   engine : Engine.t;
+  cache : Cache.t;
   cores : core_sched array;
   mutable enqueue_hooks : (core:int -> unit) list;
   mutable switches : int;
@@ -35,7 +51,22 @@ type t = {
   rt_enqueued : (int, Sim_time.t) Hashtbl.t;
       (* task id -> enqueue instant, for the RT dispatch-latency metric;
          populated only while an observability sink is installed *)
+  footprint_slots : (int, int) Hashtbl.t; (* task id -> footprint slot *)
+  mutable footprint_next : int;
 }
+
+let footprint_base t task =
+  let id = Task.id task in
+  let slot =
+    match Hashtbl.find_opt t.footprint_slots id with
+    | Some s -> s
+    | None ->
+        let s = t.footprint_next in
+        t.footprint_next <- s + 1;
+        Hashtbl.add t.footprint_slots id s;
+        s
+  in
+  footprint_window + (slot mod 4096 * footprint_bytes)
 
 let exited task = Task.state task = Task.Exited
 
@@ -116,6 +147,9 @@ let rec dispatch ?(fuel = 64) t cs =
         | _ -> remove_task cs task);
         Task.set_state task Task.Running;
         Task.incr_dispatches task;
+        if Task.policy task = Task.Cfs then
+          Cache.touch_range t.cache ~core:(Cpu.id cs.cpu)
+            ~addr:(footprint_base t task) ~len:footprint_bytes;
         t.switches <- t.switches + 1;
         if Obs.active () then begin
           Obs.incr "sched.dispatches";
@@ -327,6 +361,7 @@ let create platform =
   let t =
     {
       engine;
+      cache = platform.Platform.cache;
       cores =
         Array.map
           (fun cpu ->
@@ -336,6 +371,8 @@ let create platform =
       switches = 0;
       spawned = Hashtbl.create 64;
       rt_enqueued = Hashtbl.create 16;
+      footprint_slots = Hashtbl.create 64;
+      footprint_next = 0;
     }
   in
   Array.iter

@@ -25,16 +25,19 @@ type t = {
   mutable sleep_epoch : int;
 }
 
-let next_id = ref 0
+(* Atomic: scenarios on concurrent runner domains create tasks in
+   parallel, and a lost update here would alias two ids inside one
+   scheduler's per-id tables. Nothing simulation-visible may depend on the
+   id *value* (it reflects process history) — only on distinctness. *)
+let next_id = Atomic.make 0
 
 let create ~name ~policy ?affinity ~body () =
   (match policy with
   | Rt_fifo p when p < 1 || p > rt_priority_max ->
       invalid_arg "Task.create: RT priority out of 1..99"
   | Rt_fifo _ | Cfs -> ());
-  incr next_id;
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1 + 1;
     name;
     policy;
     affinity;

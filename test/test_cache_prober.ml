@@ -11,10 +11,31 @@ let quiet_config =
 let run s d = Scenario.run_for s d
 
 let test_cluster_mapping () =
-  Alcotest.(check int) "core 0" 0 (Cache_prober.cluster_of_core ~core:0);
-  Alcotest.(check int) "core 3" 0 (Cache_prober.cluster_of_core ~core:3);
-  Alcotest.(check int) "core 4" 1 (Cache_prober.cluster_of_core ~core:4);
-  Alcotest.(check int) "core 5" 1 (Cache_prober.cluster_of_core ~core:5)
+  let platform = Platform.juno_r1 ~seed:3 () in
+  Alcotest.(check int) "core 0" 0 (Cache_prober.cluster_of_core platform ~core:0);
+  Alcotest.(check int) "core 3" 0 (Cache_prober.cluster_of_core platform ~core:3);
+  Alcotest.(check int) "core 4" 1 (Cache_prober.cluster_of_core platform ~core:4);
+  Alcotest.(check int) "core 5" 1 (Cache_prober.cluster_of_core platform ~core:5)
+
+(* Regression: the mapping must come from the computed topology, not the
+   Juno's hardcoded 4+4 split. On a 2xA53 + 4xA57 board, core 2 is in
+   cluster 1 (the old [core <= 3 -> 0] rule said 0), and a homogeneous
+   board is one cluster. *)
+let test_cluster_mapping_non_juno () =
+  let open Satin_hw.Cycle_model in
+  let asym =
+    Platform.create ~seed:3 ~core_types:[| A53; A53; A57; A57; A57; A57 |] ()
+  in
+  Alcotest.(check int) "asym core 1" 0 (Cache_prober.cluster_of_core asym ~core:1);
+  Alcotest.(check int) "asym core 2" 1 (Cache_prober.cluster_of_core asym ~core:2);
+  Alcotest.(check int) "asym core 5" 1 (Cache_prober.cluster_of_core asym ~core:5);
+  Alcotest.(check int) "asym clusters" 2
+    (Array.length (Cache_prober.clusters_of_platform asym));
+  let homo = Platform.create ~seed:3 ~core_types:[| A57; A57; A57 |] () in
+  Alcotest.(check int) "homogeneous is one cluster" 1
+    (Array.length (Cache_prober.clusters_of_platform homo));
+  Alcotest.(check int) "homogeneous core 2" 0
+    (Cache_prober.cluster_of_core homo ~core:2)
 
 let test_quiet_no_alarms () =
   let s = Scenario.create ~seed:85 () in
@@ -115,6 +136,8 @@ let test_e14_end_to_end () =
 let suite =
   [
     Alcotest.test_case "cluster mapping" `Quick test_cluster_mapping;
+    Alcotest.test_case "cluster mapping non-4+4" `Quick
+      test_cluster_mapping_non_juno;
     Alcotest.test_case "quiet no alarms" `Quick test_quiet_no_alarms;
     Alcotest.test_case "detects scan in cluster" `Quick test_detects_scan_in_cluster;
     Alcotest.test_case "retrospective detection" `Quick

@@ -15,7 +15,7 @@ let setup () =
   done;
   let checker =
     Checker.create ~memory ~cycle:platform.Platform.cycle
-      ~prng:(Platform.split_prng platform) ~algo:Hash.Djb2 ~style:Checker.Direct_hash
+      ~prng:(Platform.split_prng platform) ~algo:Hash.Djb2 ~style:Checker.Direct_hash ()
   in
   platform, checker, base, len
 
@@ -184,7 +184,7 @@ let test_snapshot_style_also_races () =
   let platform, _, base, len = setup () in
   let checker =
     Checker.create ~memory:platform.Platform.memory ~cycle:platform.Platform.cycle
-      ~prng:(Platform.split_prng platform) ~algo:Hash.Djb2 ~style:Checker.Snapshot
+      ~prng:(Platform.split_prng platform) ~algo:Hash.Djb2 ~style:Checker.Snapshot ()
   in
   ignore (Checker.enroll checker ~base ~len);
   Memory.write_byte platform.Platform.memory ~world:World.Normal ~addr:(base + 10) 0x99;
@@ -204,7 +204,7 @@ let test_snapshot_buffer_no_growth () =
   let platform, _, base, len = setup () in
   let checker =
     Checker.create ~memory:platform.Platform.memory ~cycle:platform.Platform.cycle
-      ~prng:(Platform.split_prng platform) ~algo:Hash.Djb2 ~style:Checker.Snapshot
+      ~prng:(Platform.split_prng platform) ~algo:Hash.Djb2 ~style:Checker.Snapshot ()
   in
   Alcotest.(check int) "empty before enroll" 0 (Checker.scratch_capacity checker);
   ignore (Checker.enroll checker ~base ~len);
