@@ -12,6 +12,7 @@ module SKey = Satin_store.Key
 module Memo = Satin_store.Memo
 module Fingerprint = Satin_store.Fingerprint
 module Telemetry = Satin_store.Telemetry
+module Incremental = Satin_introspect.Incremental
 
 let fmt = Format.std_formatter
 
@@ -51,6 +52,17 @@ let check_arg =
      sanitizer only reads state), whatever --jobs width."
   in
   Arg.(value & flag & info [ "check" ] ~doc)
+
+let full_rehash_arg =
+  let doc =
+    "Disable incremental (generation-gated) host-side hashing: every scan \
+     round re-hashes its full range and every Merkle verification \
+     recomputes every leaf — the reference path. Reports are \
+     byte-identical with or without this flag (only host wall-clock \
+     changes); trials key separately in the result store so the two modes' \
+     capsules never mix."
+  in
+  Arg.(value & flag & info [ "full-rehash" ] ~doc)
 
 let store_arg =
   let doc =
@@ -109,11 +121,12 @@ let with_check check f =
   else begin
     Sanitizer.reset_global ();
     Sanitizer.set_check_mode true;
-    SKey.set_ambient [ ("check", "1") ];
+    let prev_ambient = SKey.ambient () in
+    SKey.set_ambient (("check", "1") :: prev_ambient);
     Fun.protect
       ~finally:(fun () ->
         Sanitizer.set_check_mode false;
-        SKey.set_ambient [])
+        SKey.set_ambient prev_ambient)
       f;
     let r = Sanitizer.global_report () in
     if r.Sanitizer.violations > 0 then begin
@@ -125,6 +138,23 @@ let with_check check f =
     else
       Printf.eprintf "sanitizer: %d check(s), 0 violations\n"
         r.Sanitizer.checks
+  end
+
+(* Force the reference full-re-hash path around [f]. Enters the ambient
+   store-key context for the same reason check mode does: full-rehash
+   trials compute identical results but different scan.* capsule series,
+   and the two modes' records must never cross-pollinate a store. *)
+let with_full_rehash full_rehash f =
+  if not full_rehash then f ()
+  else begin
+    let prev_ambient = SKey.ambient () in
+    Incremental.set_enabled false;
+    SKey.set_ambient (("full-rehash", "1") :: prev_ambient);
+    Fun.protect
+      ~finally:(fun () ->
+        Incremental.set_enabled true;
+        SKey.set_ambient prev_ambient)
+      f
   end
 
 (* Install an observability sink around [f] only when an export was asked
@@ -156,44 +186,48 @@ let with_progress progress f =
   end
 
 let simple name doc f =
-  let run seed jobs trace metrics check store no_store progress =
+  let run seed jobs trace metrics check full_rehash store no_store progress =
     let pool = Runner.create ~jobs () in
     with_progress progress (fun () ->
-        with_check check (fun () ->
-            with_store store no_store (fun () ->
-                with_obs trace metrics (fun () -> f pool seed))))
+        with_full_rehash full_rehash (fun () ->
+            with_check check (fun () ->
+                with_store store no_store (fun () ->
+                    with_obs trace metrics (fun () -> f pool seed)))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ check_arg
-      $ store_arg $ no_store_arg $ progress_arg)
+      $ full_rehash_arg $ store_arg $ no_store_arg $ progress_arg)
 
 (* Like [simple] but with the [--quick] flag. *)
 let campaign name doc f =
-  let run seed quick jobs trace metrics check store no_store progress =
+  let run seed quick jobs trace metrics check full_rehash store no_store
+      progress =
     let pool = Runner.create ~jobs () in
     with_progress progress (fun () ->
-        with_check check (fun () ->
-            with_store store no_store (fun () ->
-                with_obs trace metrics (fun () -> f pool seed quick))))
+        with_full_rehash full_rehash (fun () ->
+            with_check check (fun () ->
+                with_store store no_store (fun () ->
+                    with_obs trace metrics (fun () -> f pool seed quick)))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ jobs_arg $ trace_arg $ metrics_arg
-      $ check_arg $ store_arg $ no_store_arg $ progress_arg)
+      $ check_arg $ full_rehash_arg $ store_arg $ no_store_arg $ progress_arg)
 
 (* Closed-form commands: no seed, but still accept the export flags (and
    the store flags, which they harmlessly ignore — nothing to memoize). *)
 let closed_form name doc f =
-  let run trace metrics check store no_store progress =
+  let run trace metrics check full_rehash store no_store progress =
     with_progress progress (fun () ->
-        with_check check (fun () ->
-            with_store store no_store (fun () -> with_obs trace metrics f)))
+        with_full_rehash full_rehash (fun () ->
+            with_check check (fun () ->
+                with_store store no_store (fun () -> with_obs trace metrics f))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ trace_arg $ metrics_arg $ check_arg $ store_arg
-      $ no_store_arg $ progress_arg)
+      const run $ trace_arg $ metrics_arg $ check_arg $ full_rehash_arg
+      $ store_arg $ no_store_arg $ progress_arg)
 
 let e1 = simple "e1" "World-switch latency (Sec IV-B1)"
     (fun pool seed -> E.print_e1 fmt (E.run_e1 ~pool ~seed ()))
@@ -498,8 +532,8 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
-  let run experiments seeds quick jobs trace metrics check store no_store
-      progress shard workers lease_ttl report =
+  let run experiments seeds quick jobs trace metrics check full_rehash store
+      no_store progress shard workers lease_ttl report =
     (match
        List.filter
          (fun n -> not (List.mem_assoc n campaign_experiments))
@@ -550,7 +584,8 @@ let campaign_cmd =
     let run_campaign () =
       let pool = Runner.create ~jobs () in
       with_progress progress (fun () ->
-          with_check check (fun () ->
+          with_full_rehash full_rehash (fun () ->
+            with_check check (fun () ->
               with_store store no_store (fun () ->
                   with_obs trace metrics (fun () ->
                       List.iter
@@ -564,7 +599,7 @@ let campaign_cmd =
                               (List.assoc name campaign_experiments) pool seed
                                 quick)
                             experiments)
-                        seeds))))
+                        seeds)))))
     in
     (match workers with
     | Some w ->
@@ -579,6 +614,7 @@ let campaign_cmd =
           ]
           @ (if quick then [ "--quick" ] else [])
           @ (if check then [ "--check" ] else [])
+          @ (if full_rehash then [ "--full-rehash" ] else [])
         in
         let pids = List.init w (spawn_shard ~dir ~args ~w) in
         let failed =
@@ -619,8 +655,9 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ experiments_arg $ seeds_arg $ quick_arg $ jobs_arg
-      $ trace_arg $ metrics_arg $ check_arg $ store_arg $ no_store_arg
-      $ progress_arg $ shard_arg $ workers_arg $ lease_ttl_arg $ report_arg)
+      $ trace_arg $ metrics_arg $ check_arg $ full_rehash_arg $ store_arg
+      $ no_store_arg $ progress_arg $ shard_arg $ workers_arg $ lease_ttl_arg
+      $ report_arg)
 
 (* ---- telemetry: aggregate capsules, export, gate ---- *)
 

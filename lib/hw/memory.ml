@@ -21,6 +21,8 @@ exception Write_trapped of { addr : int; guard_name : string }
 
 type t = {
   data : Bytes.t;
+  gens : int array; (* per-page stamp: write_gen of the last write touching it *)
+  mutable write_gen : int;
   mutable region_list : region list; (* sorted by base *)
   mutable watchers : watcher list;
   mutable guards : guard list;
@@ -30,9 +32,24 @@ exception Access_violation of { world : World.t; addr : int; region : string }
 
 exception Bad_address of int
 
+(* Generation granularity. 4 KiB matches the architectural page size the
+   paper's areas are laid out on, and is the block size the incremental
+   checker caches digests at — one int stamp per page keeps the metadata at
+   0.02% of memory while a single-byte write still invalidates exactly one
+   cached block. *)
+let gen_page_bits = 12
+let gen_page_size = 1 lsl gen_page_bits
+
 let create ~size =
   if size <= 0 then invalid_arg "Memory.create: size must be positive";
-  { data = Bytes.make size '\000'; region_list = []; watchers = []; guards = [] }
+  {
+    data = Bytes.make size '\000';
+    gens = Array.make (((size - 1) lsr gen_page_bits) + 1) 0;
+    write_gen = 0;
+    region_list = [];
+    watchers = [];
+    guards = [];
+  }
 
 let size t = Bytes.length t.data
 
@@ -59,53 +76,89 @@ let region_of_addr t addr =
 
 let regions t = t.region_list
 
+(* Closure-free region walk: [write_byte] sits on workload inner loops and
+   must not allocate, so no [find_opt]/[Some] on the hit path. Regions never
+   overlap, so the first containing region decides. *)
+let rec check_normal_access rs ~world ~addr =
+  match rs with
+  | [] -> ()
+  | r :: rest ->
+      if addr >= r.base && addr < r.base + r.size then begin
+        if r.security = Secure_region then
+          raise (Access_violation { world; addr; region = r.name })
+      end
+      else check_normal_access rest ~world ~addr
+
 let check_access t ~world ~addr =
   if addr < 0 || addr >= Bytes.length t.data then raise (Bad_address addr);
-  match world, region_of_addr t addr with
-  | World.Secure, _ -> ()
-  | World.Normal, Some { security = Secure_region; name; _ } ->
-      raise (Access_violation { world; addr; region = name })
-  | World.Normal, (Some { security = Non_secure_region; _ } | None) -> ()
+  match world with
+  | World.Secure -> ()
+  | World.Normal -> check_normal_access t.region_list ~world ~addr
 
 (* Range checks validate only the end regions plus any secure region inside;
    for the access patterns here (ranges either fully secure or fully
    non-secure) checking every byte's region would be wasted work, but a range
    straddling into a secure region must still trap, so we scan region
    boundaries, not bytes. *)
+let rec check_normal_range rs ~world ~addr ~len =
+  match rs with
+  | [] -> ()
+  | r :: rest ->
+      if r.security = Secure_region && r.base < addr + len
+         && addr < r.base + r.size
+      then raise (Access_violation { world; addr; region = r.name })
+      else check_normal_range rest ~world ~addr ~len
+
 let check_range t ~world ~addr ~len =
   if len < 0 then invalid_arg "Memory: negative length";
   if addr < 0 || addr + len > Bytes.length t.data then raise (Bad_address addr);
   match world with
   | World.Secure -> ()
-  | World.Normal ->
-      List.iter
-        (fun r ->
-          if r.security = Secure_region && r.base < addr + len
-             && addr < r.base + r.size
-          then raise (Access_violation { world; addr; region = r.name }))
-        t.region_list
+  | World.Normal -> check_normal_range t.region_list ~world ~addr ~len
 
 let read_byte t ~world ~addr =
   check_access t ~world ~addr;
   Char.code (Bytes.get t.data addr)
 
+let rec notify_watchers ws ~addr ~len =
+  match ws with
+  | [] -> ()
+  | w :: rest ->
+      if w.active then w.notify ~addr ~len;
+      notify_watchers rest ~addr ~len
+
+(* Every successful write lands here: bump the global write counter, stamp
+   the covered pages (one array store for the single-page common case), then
+   fan out to watchers. Stamping precedes notification so a watcher that
+   reads generations sees the write it is being told about. *)
 let notify_write t ~addr ~len =
-  List.iter (fun w -> if w.active then w.notify ~addr ~len) t.watchers
+  if len > 0 then begin
+    let g = t.write_gen + 1 in
+    t.write_gen <- g;
+    let p0 = addr lsr gen_page_bits
+    and p1 = (addr + len - 1) lsr gen_page_bits in
+    for p = p0 to p1 do
+      Array.unsafe_set t.gens p g
+    done
+  end;
+  notify_watchers t.watchers ~addr ~len
+
+let rec check_guard_list gs ~addr ~len =
+  match gs with
+  | [] -> ()
+  | g :: rest ->
+      (if g.g_active && g.g_base < addr + len && addr < g.g_base + g.g_len then
+         match g.decide ~addr ~len with
+         | `Allow -> ()
+         | `Deny -> raise (Write_trapped { addr; guard_name = g.guard_name }));
+      check_guard_list rest ~addr ~len
 
 (* Normal-world writes are screened by active guards before landing; the
    secure world owns the page tables and is never trapped. *)
 let check_guards t ~world ~addr ~len =
   match world with
   | World.Secure -> ()
-  | World.Normal ->
-      List.iter
-        (fun g ->
-          if g.g_active && g.g_base < addr + len && addr < g.g_base + g.g_len
-          then
-            match g.decide ~addr ~len with
-            | `Allow -> ()
-            | `Deny -> raise (Write_trapped { addr; guard_name = g.guard_name }))
-        t.guards
+  | World.Normal -> check_guard_list t.guards ~addr ~len
 
 let write_byte t ~world ~addr v =
   check_access t ~world ~addr;
@@ -171,6 +224,31 @@ let add_write_guard t ~name ~base ~len ~decide =
 let remove_write_guard t g = t.guards <- List.filter (fun x -> x != g) t.guards
 let disable_write_guard g = g.g_active <- false
 let guard_active g = g.g_active
+
+let write_generation t = t.write_gen
+
+let generation t ~addr ~len =
+  if len <= 0 then invalid_arg "Memory.generation: empty range";
+  if addr < 0 || addr + len > Bytes.length t.data then raise (Bad_address addr);
+  let p0 = addr lsr gen_page_bits
+  and p1 = (addr + len - 1) lsr gen_page_bits in
+  let g = ref (Array.unsafe_get t.gens p0) in
+  for p = p0 + 1 to p1 do
+    let gp = Array.unsafe_get t.gens p in
+    if gp > !g then g := gp
+  done;
+  !g
+
+let bump_generation t ~addr ~len =
+  if len <= 0 then invalid_arg "Memory.bump_generation: empty range";
+  if addr < 0 || addr + len > Bytes.length t.data then raise (Bad_address addr);
+  let g = t.write_gen + 1 in
+  t.write_gen <- g;
+  let p0 = addr lsr gen_page_bits
+  and p1 = (addr + len - 1) lsr gen_page_bits in
+  for p = p0 to p1 do
+    Array.unsafe_set t.gens p g
+  done
 
 let add_write_watcher t notify =
   let w = { active = true; notify } in

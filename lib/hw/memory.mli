@@ -120,3 +120,29 @@ val add_write_watcher : t -> (addr:int -> len:int -> unit) -> watcher
     writes racing with its scan front (the TOCTTOU window of §IV-B1). *)
 
 val remove_write_watcher : t -> watcher -> unit
+
+(** {1 Write generations}
+
+    Host-side dirty tracking riding the same path as write watchers: every
+    successful write bumps a global monotonic counter and stamps it onto the
+    4 KiB page(s) it touched (one array store for the common single-page
+    write, zero allocation). This is simulator metadata — like watchers it
+    is not architecturally visible to either world — and it is what lets the
+    incremental checker re-hash only blocks whose stamp advanced. *)
+
+val gen_page_size : int
+(** Granularity of generation stamps, in bytes (4096). *)
+
+val write_generation : t -> int
+(** Current value of the global write counter (0 for fresh memory). *)
+
+val generation : t -> addr:int -> len:int -> int
+(** Max stamp over all pages covering [\[addr, addr+len)]. A cached artifact
+    computed when this returned [g] is stale iff a later call returns
+    [> g]. Raises [Bad_address] / [Invalid_argument] on bad ranges. *)
+
+val bump_generation : t -> addr:int -> len:int -> unit
+(** Bulk invalidation: stamps the covered pages with a fresh generation
+    without writing any byte or notifying watchers. For callers that mutate
+    the backing store out-of-band and must force downstream caches to
+    re-derive. *)

@@ -16,7 +16,44 @@ let style_to_string = function
 
 let pp_style fmt s = Format.pp_print_string fmt (style_to_string s)
 
-type golden = { g_len : int; g_content : string; g_hash : int64 }
+(* Per-enrolled-range incremental state, one slot per page-aligned block
+   (absolute 4 KiB pages, so a block maps to exactly one
+   [Memory.generation] stamp; first/last blocks may be partial).
+
+   [c_clean_gen.(b)] is the page stamp at the moment block [b] was last
+   proven byte-equal to golden; the block is still equal iff the page stamp
+   has not advanced past it (the simulator is single-threaded, so the
+   stamp-read/compare pair inside one event callback cannot be interleaved
+   by a write). [c_live_digest]/[c_digest_gen] cache the seed-independent
+   digest of a {e tampered} block's live content, valid while the stamp is
+   unchanged. [c_gold_digest]/[c_pow] are fixed at enroll (combinable
+   algorithms only). *)
+type block_cache = {
+  c_bounds : int array; (* nblocks+1 block-start offsets; last entry = len *)
+  c_clean_gen : int array;
+  c_live_digest : int64 array;
+  c_digest_gen : int array;
+  c_gold_digest : int64 array;
+  c_pow : int64 array;
+}
+
+type golden = {
+  g_len : int;
+  g_content : string;
+  g_hash : int64;
+  g_blocks : block_cache;
+}
+
+let block_bounds ~base ~len =
+  let ps = Memory.gen_page_size in
+  let p0 = base / ps and plast = (base + len - 1) / ps in
+  let n = plast - p0 + 1 in
+  let bounds = Array.make (n + 1) len in
+  bounds.(0) <- 0;
+  for i = 1 to n - 1 do
+    bounds.(i) <- (((p0 + i) * ps) - base)
+  done;
+  bounds
 
 type t = {
   memory : Memory.t;
@@ -38,7 +75,22 @@ type t = {
          enough even with several areas mid-scan. *)
   mutable scans : int;
   mutable tampered : int;
+  mutable blocks_rehashed : int;
+  mutable blocks_cached : int;
 }
+
+(* Per-scan block accounting, allocated once per [start_scan] so the Obs
+   emission at the verdict attributes exactly this scan's work even when
+   rounds over different areas overlap in simulated time. *)
+type scan_counts = { mutable sc_rehashed : int; mutable sc_cached : int }
+
+let count_rehashed t sc n =
+  t.blocks_rehashed <- t.blocks_rehashed + n;
+  sc.sc_rehashed <- sc.sc_rehashed + n
+
+let count_cached t sc n =
+  t.blocks_cached <- t.blocks_cached + n;
+  sc.sc_cached <- sc.sc_cached + n
 
 let create ?cache ~memory ~cycle ~prng ~algo ~style () =
   {
@@ -52,11 +104,33 @@ let create ?cache ~memory ~cycle ~prng ~algo ~style () =
     scratch = Bytes.create 0;
     scans = 0;
     tampered = 0;
+    blocks_rehashed = 0;
+    blocks_cached = 0;
   }
 
 let algo t = t.algo
 let style t = t.style
 let scratch_capacity t = Bytes.length t.scratch
+
+let make_block_cache t ~base ~content =
+  let len = String.length content in
+  let bounds = block_bounds ~base ~len in
+  let n = Array.length bounds - 1 in
+  let gold = Array.make n 0L and pow = Array.make n 1L in
+  if Hash.combinable t.algo then
+    for b = 0 to n - 1 do
+      let lo = bounds.(b) and hi = bounds.(b + 1) in
+      gold.(b) <- Hash.block_digest_string t.algo content ~off:lo ~len:(hi - lo);
+      pow.(b) <- Hash.block_pow t.algo ~len:(hi - lo)
+    done;
+  {
+    c_bounds = bounds;
+    c_clean_gen = Array.make n (-1);
+    c_live_digest = Array.make n 0L;
+    c_digest_gen = Array.make n (-1);
+    c_gold_digest = gold;
+    c_pow = pow;
+  }
 
 let enroll t ~base ~len =
   let content =
@@ -65,7 +139,13 @@ let enroll t ~base ~len =
   in
   if len > Bytes.length t.scratch then t.scratch <- Bytes.create len;
   let hash = Hash.hash_string t.algo content in
-  Hashtbl.replace t.golden (base, len) { g_len = len; g_content = content; g_hash = hash };
+  Hashtbl.replace t.golden (base, len)
+    {
+      g_len = len;
+      g_content = content;
+      g_hash = hash;
+      g_blocks = make_block_cache t ~base ~content;
+    };
   hash
 
 let enrolled_hash t ~base ~len =
@@ -135,8 +215,9 @@ let range_equal data doff golden goff blen =
    one word-level sweep per 4 KiB instead of a byte loop over megabytes. *)
 let diff_block = 4096
 
-let dirty_ranges t golden ~base =
+let dirty_ranges_full t sc golden ~base =
   let len = golden.g_len in
+  count_rehashed t sc (Array.length golden.g_blocks.c_bounds - 1);
   with_live t ~base ~len ~f:(fun data off ->
       let ranges = ref [] in
       let run_start = ref (-1) in
@@ -166,6 +247,142 @@ let dirty_ranges t golden ~base =
       flush len;
       List.rev !ranges)
 
+(* Incremental variant: a block whose page stamp has not advanced past its
+   [c_clean_gen] is known byte-equal to golden (nothing wrote it since it
+   was last proven equal), so it contributes no dirty run and costs one int
+   compare instead of a word-level sweep. Stale blocks are compared as
+   before, and a compare that proves equality re-stamps the block. The
+   maximal dirty ranges produced are a pure function of the live content,
+   so the result is identical to [dirty_ranges_full] (runs still span
+   block boundaries; flushes happen exactly at clean bytes / clean
+   blocks). Reads the backing store directly — the [Snapshot] blit is pure
+   host work with no modeled cost, so skipping it changes nothing
+   observable. *)
+let dirty_ranges_incr t sc golden ~base =
+  let len = golden.g_len in
+  let c = golden.g_blocks in
+  let n = Array.length c.c_bounds - 1 in
+  Memory.with_range_ro t.memory ~world:World.Secure ~addr:base ~len
+    ~f:(fun data off ->
+      let ranges = ref [] in
+      let run_start = ref (-1) in
+      let flush i =
+        if !run_start >= 0 then begin
+          ranges := (!run_start, i - !run_start) :: !ranges;
+          run_start := -1
+        end
+      in
+      for b = 0 to n - 1 do
+        let lo = Array.unsafe_get c.c_bounds b in
+        let hi = Array.unsafe_get c.c_bounds (b + 1) in
+        let blen = hi - lo in
+        let stamp = Memory.generation t.memory ~addr:(base + lo) ~len:blen in
+        if Array.unsafe_get c.c_clean_gen b >= stamp then begin
+          count_cached t sc 1;
+          flush lo
+        end
+        else begin
+          count_rehashed t sc 1;
+          if range_equal data (off + lo) golden.g_content lo blen then begin
+            Array.unsafe_set c.c_clean_gen b stamp;
+            flush lo
+          end
+          else
+            for i = lo to hi - 1 do
+              if
+                Bytes.unsafe_get data (off + i)
+                <> String.unsafe_get golden.g_content i
+              then begin
+                if !run_start < 0 then run_start := i
+              end
+              else flush i
+            done
+        end
+      done;
+      flush len;
+      List.rev !ranges)
+
+let dirty_ranges t sc golden ~base =
+  if Incremental.enabled () then dirty_ranges_incr t sc golden ~base
+  else dirty_ranges_full t sc golden ~base
+
+(* Observed hash at the verdict instant. Full path: one whole-range compare
+   (equal → the enrolled hash, spared the streaming pass) or a full
+   [hash_sub]. Incremental path: walk blocks; stamp-clean ones contribute
+   their cached golden digest, stale ones are compared (re-stamping on
+   equality) and, when tampered, their live digest is (re)computed only if
+   the stamp moved since it was last cached. For combinable algorithms the
+   per-block digests recombine to the exact [hash_sub] value (affine
+   factorization, see {!Hash.combine_block}); FNV-1a does not factor, so a
+   range that is dirty at the verdict falls back to one honest full
+   re-hash — the quiescent case (every block clean) is still O(blocks). *)
+let observed_hash_full t golden ~base =
+  let len = golden.g_len in
+  with_live t ~base ~len ~f:(fun data off ->
+      if range_equal data off golden.g_content 0 len then golden.g_hash
+      else Hash.hash_sub t.algo data ~off ~len)
+
+let observed_hash_incr t sc golden ~base =
+  let len = golden.g_len in
+  let c = golden.g_blocks in
+  let n = Array.length c.c_bounds - 1 in
+  let comb = Hash.combinable t.algo in
+  Memory.with_range_ro t.memory ~world:World.Secure ~addr:base ~len
+    ~f:(fun data off ->
+      let h = ref (Hash.init t.algo) in
+      let any_dirty = ref false in
+      for b = 0 to n - 1 do
+        let lo = Array.unsafe_get c.c_bounds b in
+        let hi = Array.unsafe_get c.c_bounds (b + 1) in
+        let blen = hi - lo in
+        let stamp = Memory.generation t.memory ~addr:(base + lo) ~len:blen in
+        let clean =
+          if Array.unsafe_get c.c_clean_gen b >= stamp then begin
+            count_cached t sc 1;
+            true
+          end
+          else begin
+            count_rehashed t sc 1;
+            if range_equal data (off + lo) golden.g_content lo blen then begin
+              Array.unsafe_set c.c_clean_gen b stamp;
+              true
+            end
+            else false
+          end
+        in
+        if clean then begin
+          if comb then
+            h :=
+              Hash.combine_block !h
+                ~pow:(Array.unsafe_get c.c_pow b)
+                ~digest:(Array.unsafe_get c.c_gold_digest b)
+        end
+        else begin
+          any_dirty := true;
+          if comb then begin
+            if Array.unsafe_get c.c_digest_gen b <> stamp then begin
+              Array.unsafe_set c.c_live_digest b
+                (Hash.block_digest t.algo data ~off:(off + lo) ~len:blen);
+              Array.unsafe_set c.c_digest_gen b stamp
+            end;
+            h :=
+              Hash.combine_block !h
+                ~pow:(Array.unsafe_get c.c_pow b)
+                ~digest:(Array.unsafe_get c.c_live_digest b)
+          end
+        end
+      done;
+      if not !any_dirty then golden.g_hash
+      else if comb then !h
+      else Hash.hash_sub t.algo data ~off ~len)
+
+let observed_hash t sc golden ~base =
+  if Incremental.enabled () then observed_hash_incr t sc golden ~base
+  else begin
+    count_rehashed t sc (Array.length golden.g_blocks.c_bounds - 1);
+    observed_hash_full t golden ~base
+  end
+
 let start_scan t ~engine ~core ~base ~len ~on_verdict =
   let golden =
     match Hashtbl.find_opt t.golden (base, len) with
@@ -179,6 +396,7 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
     Obs.incr "checker.scans";
     Obs.observe "checker.scan_bytes" (float_of_int len)
   end;
+  let sc = { sc_rehashed = 0; sc_cached = 0 } in
   let rate_s = Cycle_model.sample t.prng (per_byte_triple t (Cpu.core_type core)) in
   let duration = Sim_time.of_sec_f (rate_s *. float_of_int len) in
   let t0 = Engine.now engine in
@@ -215,20 +433,39 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
      detection instant tracks the front at 256-byte granularity (the paper's
      8-byte traces are a single chunk); a pass time already behind "now"
      (the front is mid-byte) is clamped — the front is there right now. *)
+  (* Dirty-aware chunk check: if every block covering the chunk is
+     stamp-clean at fire time, its bytes are known equal to golden and the
+     compare loop would record nothing — skip it. (A chunk is <= 256 bytes,
+     so this tests at most two stamps.) *)
+  let chunk_clean offset rlen =
+    let c = golden.g_blocks in
+    let ps = Memory.gen_page_size in
+    let p0 = base / ps in
+    let first = ((base + offset) / ps) - p0 in
+    let last = ((base + offset + rlen - 1) / ps) - p0 in
+    let clean = ref true in
+    for b = first to last do
+      let lo = c.c_bounds.(b) and hi = c.c_bounds.(b + 1) in
+      let stamp = Memory.generation t.memory ~addr:(base + lo) ~len:(hi - lo) in
+      if c.c_clean_gen.(b) < stamp then clean := false
+    done;
+    !clean
+  in
   let check_chunk (offset, rlen) =
     let time = Sim_time.max (pass_time offset) (Engine.now engine) in
     ignore
       (Engine.at engine ~time (fun () ->
-           (* One range check for the whole chunk instead of a per-byte
-              [read_byte] (whose access check walks the region list). *)
-           Memory.with_range_ro t.memory ~world:World.Secure
-             ~addr:(base + offset) ~len:rlen ~f:(fun data off ->
-               for i = 0 to rlen - 1 do
-                 if
-                   Bytes.unsafe_get data (off + i)
-                   <> String.unsafe_get golden.g_content (offset + i)
-                 then Hashtbl.replace caught (offset + i) ()
-               done)))
+           if not (Incremental.enabled () && chunk_clean offset rlen) then
+             (* One range check for the whole chunk instead of a per-byte
+                [read_byte] (whose access check walks the region list). *)
+             Memory.with_range_ro t.memory ~world:World.Secure
+               ~addr:(base + offset) ~len:rlen ~f:(fun data off ->
+                 for i = 0 to rlen - 1 do
+                   if
+                     Bytes.unsafe_get data (off + i)
+                     <> String.unsafe_get golden.g_content (offset + i)
+                   then Hashtbl.replace caught (offset + i) ()
+                 done)))
   in
   let check_at_pass (offset, rlen) =
     let chunk = 256 in
@@ -241,7 +478,7 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
     in
     go offset rlen
   in
-  List.iter check_at_pass (dirty_ranges t golden ~base);
+  List.iter check_at_pass (dirty_ranges t sc golden ~base);
   (* Writes racing the scan: anything landing ahead of the front gets a
      pass-time check; writes behind the front are already missed. *)
   let watcher =
@@ -264,16 +501,15 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
            t.tampered <- t.tampered + 1;
            Obs.incr "checker.tampered_verdicts"
          end;
-         let observed =
-           (* Fast path: content back to golden means the observed hash is
-              the authorized one — spare the streaming hash. Either way,
-              no snapshot copy: the live view is zero-copy (or the reused
-              scratch for [Snapshot]). *)
-           with_live t ~base ~len ~f:(fun data off ->
-               if range_equal data off golden.g_content 0 len then
-                 golden.g_hash
-               else Hash.hash_sub t.algo data ~off ~len)
-         in
+         let observed = observed_hash t sc golden ~base in
+         if Obs.active () then begin
+           Obs.incr "scan.blocks_rehashed" ~by:sc.sc_rehashed;
+           Obs.incr "scan.blocks_cached" ~by:sc.sc_cached;
+           let total = sc.sc_rehashed + sc.sc_cached in
+           if total > 0 then
+             Obs.observe "scan.rehash_fraction"
+               (float_of_int sc.sc_rehashed /. float_of_int total)
+         end;
          on_verdict
            {
              v_base = base;
@@ -287,3 +523,5 @@ let start_scan t ~engine ~core ~base ~len ~on_verdict =
 
 let scans_started t = t.scans
 let tampered_verdicts t = t.tampered
+let blocks_rehashed t = t.blocks_rehashed
+let blocks_cached t = t.blocks_cached

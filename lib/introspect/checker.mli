@@ -82,3 +82,17 @@ val per_byte_triple :
 
 val scans_started : t -> int
 val tampered_verdicts : t -> int
+
+val blocks_rehashed : t -> int
+(** Cumulative count of page-aligned blocks whose bytes the host actually
+    compared/re-hashed across all rounds (both the scan-start dirty sweep
+    and the verdict pass). With {!Incremental} enabled, a quiescent rescan
+    re-hashes nothing; with it disabled every block counts here. *)
+
+val blocks_cached : t -> int
+(** Cumulative count of blocks skipped because their
+    {!Satin_hw.Memory.generation} stamp had not advanced since they were
+    last proven byte-equal to golden (one int compare instead of a sweep).
+    Per-round values are also emitted as [scan.blocks_rehashed] /
+    [scan.blocks_cached] counters and the [scan.rehash_fraction] histogram
+    when {!Satin_obs.Obs} is active. *)

@@ -51,15 +51,15 @@ let[@inline] sdbm_step h c =
 let[@inline] fnv1a_step h c =
   Int64.mul (Int64.logxor h (Int64.of_int c)) 0x100000001b3L
 
-let hash_sub algo data ~off ~len =
+let hash_sub_seeded algo ~seed data ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length data then
-    invalid_arg "Hash.hash_sub: range out of bounds";
+    invalid_arg "Hash.hash_sub_seeded: range out of bounds";
   let stop = off + len in
   let stop4 = stop - 3 in
   let[@inline] byte i = Char.code (Bytes.unsafe_get data i) in
   match algo with
   | Djb2 ->
-      let h = ref 5381L in
+      let h = ref seed in
       let i = ref off in
       while !i < stop4 do
         let h0 = djb2_step !h (byte !i) in
@@ -74,7 +74,7 @@ let hash_sub algo data ~off ~len =
       done;
       !h
   | Sdbm ->
-      let h = ref 0L in
+      let h = ref seed in
       let i = ref off in
       while !i < stop4 do
         let h0 = sdbm_step !h (byte !i) in
@@ -89,7 +89,7 @@ let hash_sub algo data ~off ~len =
       done;
       !h
   | Fnv1a ->
-      let h = ref 0xcbf29ce484222325L in
+      let h = ref seed in
       let i = ref off in
       while !i < stop4 do
         let h0 = fnv1a_step !h (byte !i) in
@@ -103,6 +103,40 @@ let hash_sub algo data ~off ~len =
         incr i
       done;
       !h
+
+let hash_sub algo data ~off ~len =
+  hash_sub_seeded algo ~seed:(init algo) data ~off ~len
+
+(* Block combine. Djb2 and Sdbm are affine recurrences h' = h*m + c
+   (mod 2^64), so hashing s1 ++ s2 factors as
+       H(s1 ++ s2) = H(s1) * m^|s2| + K(s2)
+   where K(s2) is the same recurrence run from state 0 — a seed-independent
+   per-block digest that can be cached and recombined in O(blocks). Fnv1a's
+   step xors before multiplying; multiplication does not distribute over
+   xor, so it is NOT combinable and incremental consumers must fall back to
+   a full re-hash when any block is dirty. *)
+
+let multiplier = function Djb2 -> 33L | Sdbm -> 65599L | Fnv1a -> 0L
+let combinable = function Djb2 | Sdbm -> true | Fnv1a -> false
+
+let block_pow algo ~len =
+  if not (combinable algo) then
+    invalid_arg "Hash.block_pow: algorithm is not combinable";
+  if len < 0 then invalid_arg "Hash.block_pow: negative length";
+  let r = ref 1L and b = ref (multiplier algo) and e = ref len in
+  while !e > 0 do
+    if !e land 1 = 1 then r := Int64.mul !r !b;
+    b := Int64.mul !b !b;
+    e := !e asr 1
+  done;
+  !r
+
+let block_digest algo data ~off ~len = hash_sub_seeded algo ~seed:0L data ~off ~len
+
+let block_digest_string algo s ~off ~len =
+  block_digest algo (Bytes.unsafe_of_string s) ~off ~len
+
+let[@inline] combine_block h ~pow ~digest = Int64.add (Int64.mul h pow) digest
 
 let hash_bytes algo b = hash_sub algo b ~off:0 ~len:(Bytes.length b)
 let hash_string algo s = hash_bytes algo (Bytes.unsafe_of_string s)

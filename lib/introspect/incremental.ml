@@ -1,0 +1,15 @@
+(* Process-wide switch for incremental (generation-gated) host hashing.
+   Default on; the [--full-rehash] CLI flag and the differential tests turn
+   it off to force the reference full-re-hash path. The toggle changes HOST
+   work only — modeled timing, scheduled events, race semantics and verdicts
+   are byte-identical either way (enforced by test_incremental and the CI
+   differential gate). *)
+
+let flag = ref true
+let enabled () = !flag
+let set_enabled v = flag := v
+
+let with_enabled v f =
+  let prev = !flag in
+  flag := v;
+  Fun.protect ~finally:(fun () -> flag := prev) f

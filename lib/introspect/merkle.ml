@@ -12,9 +12,24 @@ type t = {
   scratch : int64 array;
       (* [live_root]'s workspace, allocated once at [build] instead of per
          verification round. Padding-leaf slots are seeded from [nodes] at
-         build time and never change; every round overwrites the real
-         leaves and all internal nodes (DESIGN §10). *)
+         build time and never change. Invariant: a real leaf slot holds the
+         hash of the page's current content whenever
+         [leaf_gen.(page) >= Memory.generation] of that page (stamps only
+         grow, so a write since the leaf was computed always shows). *)
+  leaf_gen : int array;
+      (* per real leaf: max page stamp at the moment its scratch slot was
+         computed; -1 = never computed (forces the first round to hash) *)
+  node_dirty : bool array;
+      (* scratch slots recomputed since the last bottom-up propagation;
+         marks survive across [dirty_pages] calls until [live_root]
+         consumes them *)
+  mutable pending : bool;
+  mutable gen_mem : Memory.t;
+      (* memory object the stamps refer to; a different memory invalidates
+         every cached leaf *)
   mutable rehashes : int;
+  mutable live_leaf_rehashes : int;
+  mutable live_leaf_cached : int;
 }
 
 let base t = t.base
@@ -22,6 +37,8 @@ let length t = t.len
 let page_size t = t.page_size
 let pages t = t.pages
 let node_rehashes t = t.rehashes
+let live_leaf_rehashes t = t.live_leaf_rehashes
+let live_leaf_cached t = t.live_leaf_cached
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
 
@@ -54,7 +71,13 @@ let build ?(page_size = 4096) algo memory ~base ~len =
       leaves_pow2;
       nodes = Array.make ((2 * leaves_pow2) - 1) (Hash.init algo);
       scratch = Array.make ((2 * leaves_pow2) - 1) (Hash.init algo);
+      leaf_gen = Array.make (max pages 1) (-1);
+      node_dirty = Array.make ((2 * leaves_pow2) - 1) false;
+      pending = false;
+      gen_mem = memory;
       rehashes = 0;
+      live_leaf_rehashes = 0;
+      live_leaf_cached = 0;
     }
   in
   for page = 0 to pages - 1 do
@@ -69,28 +92,96 @@ let build ?(page_size = 4096) algo memory ~base ~len =
 let root t = t.nodes.(0)
 let secure_bytes t = 8 * Array.length t.nodes
 
-let live_root t memory =
-  (* Recompute bottom-up into the preallocated scratch without touching
-     the stored tree: real leaves and every internal node are overwritten
-     each round; padding leaves were seeded at build and are immutable. *)
-  let scratch = t.scratch in
+(* Bring every stale scratch leaf up to date with live memory, marking the
+   recomputed slots for the next bottom-up propagation. A leaf is stale iff
+   the max page stamp over its bytes advanced past the stamp recorded when
+   its slot was last hashed (or it was never hashed). *)
+let refresh_leaves t memory =
+  if memory != t.gen_mem then begin
+    (* Stamps from a different memory object are meaningless: drop every
+       cached leaf and re-key. *)
+    t.gen_mem <- memory;
+    Array.fill t.leaf_gen 0 (Array.length t.leaf_gen) (-1)
+  end;
   for page = 0 to t.pages - 1 do
-    scratch.(leaf_index t page) <- leaf_hash t memory page
-  done;
-  for i = t.leaves_pow2 - 2 downto 0 do
-    scratch.(i) <- combine t.algo scratch.((2 * i) + 1) scratch.((2 * i) + 2)
-  done;
-  scratch.(0)
+    let off = page * t.page_size in
+    let len = min t.page_size (t.len - off) in
+    let stamp = Memory.generation memory ~addr:(t.base + off) ~len in
+    if t.leaf_gen.(page) >= stamp then
+      t.live_leaf_cached <- t.live_leaf_cached + 1
+    else begin
+      t.scratch.(leaf_index t page) <- leaf_hash t memory page;
+      t.leaf_gen.(page) <- stamp;
+      t.node_dirty.(leaf_index t page) <- true;
+      t.pending <- true;
+      t.live_leaf_rehashes <- t.live_leaf_rehashes + 1
+    end
+  done
+
+(* Recombine only internal nodes with a recomputed descendant, then clear
+   the marks. O(nodes) boolean scan, O(changed * log n) hashing. *)
+let propagate t =
+  if t.pending then begin
+    for i = t.leaves_pow2 - 2 downto 0 do
+      if t.node_dirty.((2 * i) + 1) || t.node_dirty.((2 * i) + 2) then begin
+        t.scratch.(i) <-
+          combine t.algo t.scratch.((2 * i) + 1) t.scratch.((2 * i) + 2);
+        t.node_dirty.(i) <- true
+      end
+    done;
+    Array.fill t.node_dirty 0 (Array.length t.node_dirty) false;
+    t.pending <- false
+  end
+
+let live_root t memory =
+  if Incremental.enabled () then begin
+    refresh_leaves t memory;
+    propagate t;
+    t.scratch.(0)
+  end
+  else begin
+    (* Reference path: recompute bottom-up into the preallocated scratch
+       without touching the stored tree. This rewrites every slot from
+       live content, so any pending incremental marks are satisfied and
+       cleared. *)
+    let scratch = t.scratch in
+    for page = 0 to t.pages - 1 do
+      scratch.(leaf_index t page) <- leaf_hash t memory page
+    done;
+    for i = t.leaves_pow2 - 2 downto 0 do
+      scratch.(i) <- combine t.algo scratch.((2 * i) + 1) scratch.((2 * i) + 2)
+    done;
+    Array.fill t.node_dirty 0 (Array.length t.node_dirty) false;
+    t.pending <- false;
+    scratch.(0)
+  end
 
 let verify_root t memory = Int64.equal (live_root t memory) (root t)
 
 let dirty_pages t memory =
-  let dirty = ref [] in
-  for page = t.pages - 1 downto 0 do
-    if not (Int64.equal (leaf_hash t memory page) t.nodes.(leaf_index t page))
-    then dirty := page :: !dirty
-  done;
-  !dirty
+  if Incremental.enabled () then begin
+    (* Reuse the leaf cache: a cached scratch leaf is the live page hash,
+       so the comparison against the stored leaf is the same test without
+       re-hashing quiescent pages. Marks accumulate for the next
+       [live_root] propagation. *)
+    refresh_leaves t memory;
+    let dirty = ref [] in
+    for page = t.pages - 1 downto 0 do
+      if
+        not
+          (Int64.equal t.scratch.(leaf_index t page) t.nodes.(leaf_index t page))
+      then dirty := page :: !dirty
+    done;
+    !dirty
+  end
+  else begin
+    let dirty = ref [] in
+    for page = t.pages - 1 downto 0 do
+      if not (Int64.equal (leaf_hash t memory page) t.nodes.(leaf_index t page))
+      then dirty := page :: !dirty
+    done;
+    !dirty
+  end
 
 let update_page t memory ~page =
   if page < 0 || page >= t.pages then invalid_arg "Merkle.update_page: bad page";

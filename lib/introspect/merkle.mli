@@ -39,8 +39,12 @@ val secure_bytes : t -> int
 (** Secure-memory footprint of the stored tree (8 bytes per node). *)
 
 val verify_root : t -> Satin_hw.Memory.t -> bool
-(** Recompute every leaf from live memory and fold up; [true] iff the root
-    matches. O(len) hashing — same work as a flat scan, same verdict. *)
+(** Fold the live leaves up and compare against the stored root; [true] iff
+    they match. With {!Incremental} enabled only pages whose
+    {!Satin_hw.Memory.generation} stamp advanced since their cached leaf
+    was computed are re-hashed (plus the O(changed * log n) internal
+    recombines); disabled, every leaf is recomputed. The returned root is
+    bit-identical either way. *)
 
 val dirty_pages : t -> Satin_hw.Memory.t -> int list
 (** Page indices whose live hash differs from the stored leaf, ascending. *)
@@ -52,3 +56,10 @@ val update_page : t -> Satin_hw.Memory.t -> page:int -> unit
 val node_rehashes : t -> int
 (** Cumulative internal-node rehash count — lets tests pin the O(log n)
     update cost. *)
+
+val live_leaf_rehashes : t -> int
+(** Cumulative leaves re-hashed from live memory by {!live_root} /
+    {!dirty_pages} (incremental mode; the reference path does not count). *)
+
+val live_leaf_cached : t -> int
+(** Cumulative leaves served from the generation-stamped cache. *)

@@ -48,6 +48,22 @@ let with_state f =
         Mutex.lock s.mutex;
         Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) (fun () -> f s)
 
+(* ETA text for a heartbeat, or [None] when there is nothing left to
+   predict. Before any trial finishes (or whenever the rate degenerates to
+   0, inf or nan — e.g. a heartbeat fired with [elapsed = 0.]) there is no
+   usable rate, and dividing through would print "eta inf"/"eta nan": clamp
+   those to a "--" placeholder instead. Pure, for the unit test. *)
+let eta_string ~finished ~total ~elapsed =
+  if total <= 0 || finished >= total then None
+  else
+    let rate =
+      if elapsed > 0.0 then float_of_int finished /. elapsed else 0.0
+    in
+    let eta = float_of_int (total - finished) /. rate in
+    if rate > 0.0 && Float.is_finite eta then
+      Some (Printf.sprintf "%.1fs" eta)
+    else Some "--"
+
 (* The latency series worth quoting live, most interesting first. *)
 let headline_series =
   [
@@ -70,11 +86,9 @@ let emit ?(force = false) s =
       Buffer.add_string buf
         (Printf.sprintf ", %d warm (%.0f%% hit)" s.hits
            (100.0 *. float_of_int s.hits /. float_of_int s.finished));
-    (if s.finished > 0 && s.finished < s.total && elapsed > 0.0 then
-       let rate = float_of_int s.finished /. elapsed in
-       if rate > 0.0 then
-         Buffer.add_string buf
-           (Printf.sprintf ", eta %.1fs" (float_of_int (s.total - s.finished) /. rate)));
+    (match eta_string ~finished:s.finished ~total:s.total ~elapsed with
+    | Some eta -> Buffer.add_string buf (Printf.sprintf ", eta %s" eta)
+    | None -> ());
     let quoted = ref 0 in
     List.iter
       (fun name ->

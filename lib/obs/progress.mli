@@ -43,3 +43,9 @@ val observe_capsule : Capsule.t -> unit
 val finish : unit -> unit
 (** Emit a final summary heartbeat (ignoring the rate limit) and
     uninstall. *)
+
+val eta_string : finished:int -> total:int -> elapsed:float -> string option
+(** The ETA fragment quoted in heartbeats: [Some "12.3s"] once a usable
+    rate exists, [Some "--"] while it would be 0/inf/nan (first heartbeat
+    before any trial finishes), [None] when the batch is done or empty.
+    Exposed pure for the unit test. *)

@@ -141,6 +141,48 @@ let prop_concat_streaming =
           Int64.equal whole resumed)
         Hash.all_algos)
 
+(* The affine factorization behind incremental scans: for the combinable
+   algorithms, hashing a concatenation equals folding cached per-block
+   digests with [combine_block]. Splits are arbitrary, not page-sized. *)
+let prop_block_combine =
+  QCheck.Test.make ~name:"hash = fold of block digests (combinable algos)"
+    QCheck.(pair string (small_list small_nat))
+    (fun (s, cuts) ->
+      let data = Bytes.of_string s in
+      let n = Bytes.length data in
+      (* Turn the generated naturals into a partition of [0, n). *)
+      let bounds =
+        List.sort_uniq compare (0 :: n :: List.map (fun c -> c mod (n + 1)) cuts)
+      in
+      let rec blocks = function
+        | a :: (b :: _ as rest) -> (a, b - a) :: blocks rest
+        | _ -> []
+      in
+      List.for_all
+        (fun algo ->
+          if not (Hash.combinable algo) then true
+          else
+            let h =
+              List.fold_left
+                (fun h (off, len) ->
+                  Hash.combine_block h
+                    ~pow:(Hash.block_pow algo ~len)
+                    ~digest:(Hash.block_digest algo data ~off ~len))
+                (Hash.init algo) (blocks bounds)
+            in
+            Int64.equal h (Hash.hash_sub algo data ~off:0 ~len:n))
+        Hash.all_algos)
+
+let test_combinable_flags () =
+  Alcotest.(check bool) "djb2 combinable" true (Hash.combinable Hash.Djb2);
+  Alcotest.(check bool) "sdbm combinable" true (Hash.combinable Hash.Sdbm);
+  Alcotest.(check bool) "fnv1a not combinable" false
+    (Hash.combinable Hash.Fnv1a);
+  Alcotest.(check int64) "pow^0 = 1" 1L (Hash.block_pow Hash.Djb2 ~len:0);
+  Alcotest.(check int64) "pow^1 = m" 33L (Hash.block_pow Hash.Djb2 ~len:1);
+  Alcotest.(check int64) "pow^2 = m*m" (Int64.mul 65599L 65599L)
+    (Hash.block_pow Hash.Sdbm ~len:2)
+
 let suite =
   [
     Alcotest.test_case "djb2 known answers" `Quick test_djb2_known;
@@ -156,4 +198,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_hash_sub_matches_fold;
     QCheck_alcotest.to_alcotest prop_deterministic;
     QCheck_alcotest.to_alcotest prop_concat_streaming;
+    Alcotest.test_case "combinable flags + block_pow" `Quick
+      test_combinable_flags;
+    QCheck_alcotest.to_alcotest prop_block_combine;
   ]

@@ -206,6 +206,88 @@ let test_with_range_ro () =
     Alcotest.fail "expected violation"
   with Memory.Access_violation _ -> ()
 
+let test_generation_stamps () =
+  let ps = Memory.gen_page_size in
+  let m = Memory.create ~size:(4 * ps) in
+  Alcotest.(check int) "fresh counter" 0 (Memory.write_generation m);
+  Alcotest.(check int) "fresh page" 0 (Memory.generation m ~addr:0 ~len:ps);
+  Memory.write_byte m ~world:World.Normal ~addr:5 1;
+  let g1 = Memory.write_generation m in
+  Alcotest.(check bool) "counter advanced" true (g1 > 0);
+  Alcotest.(check int) "page 0 stamped" g1 (Memory.generation m ~addr:0 ~len:10);
+  Alcotest.(check int) "page 1 untouched" 0
+    (Memory.generation m ~addr:ps ~len:8);
+  (* A write straddling a page boundary stamps both pages, one counter bump. *)
+  Memory.write_string m ~world:World.Normal ~addr:(ps - 2) "abcd";
+  let g2 = Memory.write_generation m in
+  Alcotest.(check int) "one bump per write" (g1 + 1) g2;
+  Alcotest.(check int) "page 0 restamped" g2 (Memory.generation m ~addr:0 ~len:1);
+  Alcotest.(check int) "page 1 stamped" g2 (Memory.generation m ~addr:ps ~len:1);
+  (* [generation] over a range is the max stamp of the covered pages. *)
+  Memory.write_byte m ~world:World.Normal ~addr:(3 * ps) 9;
+  let g3 = Memory.write_generation m in
+  Alcotest.(check int) "range max" g3
+    (Memory.generation m ~addr:0 ~len:(Memory.size m));
+  Alcotest.(check int) "middle pages keep older stamps" g2
+    (Memory.generation m ~addr:ps ~len:ps)
+
+let test_bump_generation () =
+  let ps = Memory.gen_page_size in
+  let m = Memory.create ~size:(4 * ps) in
+  let hits = ref 0 in
+  ignore (Memory.add_write_watcher m (fun ~addr:_ ~len:_ -> incr hits));
+  Memory.bump_generation m ~addr:100 ~len:(ps + 1);
+  Alcotest.(check bool) "pages stamped" true
+    (Memory.generation m ~addr:0 ~len:1 > 0
+    && Memory.generation m ~addr:ps ~len:1 > 0);
+  Alcotest.(check int) "beyond the range untouched" 0
+    (Memory.generation m ~addr:(3 * ps) ~len:1);
+  Alcotest.(check int) "no watcher fired, no byte written" 0 !hits;
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Memory.bump_generation: empty range") (fun () ->
+      Memory.bump_generation m ~addr:0 ~len:0)
+
+let test_generation_visible_in_watcher () =
+  let m = make () in
+  let seen = ref (-1) in
+  ignore
+    (Memory.add_write_watcher m (fun ~addr ~len ->
+         seen := Memory.generation m ~addr ~len));
+  Memory.write_byte m ~world:World.Normal ~addr:7 3;
+  Alcotest.(check int) "stamp already visible to the watcher"
+    (Memory.write_generation m) !seen
+
+(* The hot write path — access check, guard screen, generation stamp,
+   watcher fan-out — must allocate nothing: workloads issue millions of
+   writes per campaign and the generation tracking rides along for free. *)
+let test_write_path_zero_alloc () =
+  let m = make () in
+  let n = 10_000 in
+  let v = 0x0123456789ABCDEFL in
+  let byte_pass () =
+    for i = 0 to n - 1 do
+      Memory.write_byte m ~world:World.Normal ~addr:(i land 0x3ff) 0x5a
+    done
+  in
+  let int64_pass () =
+    for i = 0 to n - 1 do
+      Memory.write_int64_le m ~world:World.Normal ~addr:(i land 0x7f * 8) v
+    done
+  in
+  let words_per_op f =
+    f ();
+    let w0 = Gc.minor_words () in
+    f ();
+    (Gc.minor_words () -. w0) /. float_of_int n
+  in
+  let wb = words_per_op byte_pass in
+  if wb > 0.01 then
+    Alcotest.failf "write_byte allocates %.3f minor words/write (want 0)" wb;
+  let wi = words_per_op int64_pass in
+  if wi > 0.01 then
+    Alcotest.failf "write_int64_le allocates %.3f minor words/write (want 0)"
+      wi
+
 let prop_rw_any_byte =
   QCheck.Test.make ~name:"write/read any ns byte"
     QCheck.(pair (int_bound 1023) (int_bound 255))
@@ -235,5 +317,11 @@ let suite =
     Alcotest.test_case "int64 access checks" `Quick test_int64_access_checks;
     Alcotest.test_case "guard traps int64 write" `Quick test_guard_traps_int64_write;
     Alcotest.test_case "with_range_ro" `Quick test_with_range_ro;
+    Alcotest.test_case "generation stamps" `Quick test_generation_stamps;
+    Alcotest.test_case "bump_generation" `Quick test_bump_generation;
+    Alcotest.test_case "generation visible in watcher" `Quick
+      test_generation_visible_in_watcher;
+    Alcotest.test_case "write path allocates nothing" `Quick
+      test_write_path_zero_alloc;
     QCheck_alcotest.to_alcotest prop_rw_any_byte;
   ]

@@ -434,6 +434,25 @@ let test_tracing_cross_domain_raises () =
   in
   Alcotest.(check bool) "empty track transfers ownership" true (Domain.join d)
 
+(* Progress ETA formatting: before any trial completes (or with a frozen
+   clock) the rate is 0 and the naive ETA is inf/nan — the heartbeat must
+   show a "--" placeholder, never "infs" or "nans". *)
+let test_progress_eta_placeholder () =
+  let eta = Satin_obs.Progress.eta_string in
+  let check name want got =
+    Alcotest.(check (option string)) name want got
+  in
+  check "no trial finished yet" (Some "--")
+    (eta ~finished:0 ~total:10 ~elapsed:3.0);
+  check "zero elapsed (frozen clock)" (Some "--")
+    (eta ~finished:5 ~total:10 ~elapsed:0.0);
+  check "negative elapsed (clock skew)" (Some "--")
+    (eta ~finished:5 ~total:10 ~elapsed:(-1.0));
+  check "steady rate" (Some "5.0s") (eta ~finished:5 ~total:10 ~elapsed:5.0);
+  check "done" None (eta ~finished:10 ~total:10 ~elapsed:5.0);
+  check "overshoot" None (eta ~finished:12 ~total:10 ~elapsed:5.0);
+  check "empty batch" None (eta ~finished:0 ~total:0 ~elapsed:1.0)
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter;
@@ -464,5 +483,7 @@ let suite =
       test_capture_is_per_domain;
     Alcotest.test_case "tracing cross-domain guard" `Quick
       test_tracing_cross_domain_raises;
+    Alcotest.test_case "progress eta placeholder" `Quick
+      test_progress_eta_placeholder;
     Alcotest.test_case "same-seed exports identical" `Slow test_determinism;
   ]
